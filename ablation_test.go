@@ -1,0 +1,231 @@
+// Ablation benchmarks for the design choices the paper's Key Takeaways call
+// out: collapsing-queue energy (#5), ROB sizing (#6), and MSHR/memory-unit
+// scaling (#8). Each bench sweeps the knob on MegaBOOM and reports the
+// performance/power trade-off rows the takeaway discusses.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/prertl"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ablate runs one workload on a modified MegaBOOM and returns IPC plus the
+// power of one component and the whole tile.
+func ablate(b *testing.B, name string, mod func(*boom.Config), comp boom.Component) (ipc, compMW, tileMW float64) {
+	b.Helper()
+	cfg := boom.MegaBOOM()
+	mod(&cfg)
+	w, err := workloads.Build(name, workloads.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := w.NewCPU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := boom.New(cfg)
+	c.Run(func(r *sim.Retired) bool {
+		if cpu.Halted {
+			return false
+		}
+		if err := cpu.Step(r); err != nil {
+			panic(err)
+		}
+		return true
+	}, math.MaxUint64)
+	rep, err := power.NewEstimator(cfg, asap7.Default()).Estimate(c.Stats())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Stats().IPC(), rep.Comp[comp].TotalMW(), rep.TotalMW()
+}
+
+var ablOnce sync.Map
+
+func ablShow(key, s string) {
+	if _, loaded := ablOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print(s)
+	}
+}
+
+// BenchmarkAblationROBSize sweeps the reorder buffer (Key Takeaway #6:
+// adaptive ROB sizing trades stalls against power).
+func BenchmarkAblationROBSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "ablation: ROB size on MegaBOOM (sha)\nROB   IPC    ROB-mW  tile-mW\n"
+		for _, entries := range []int{32, 64, 96, 128, 192} {
+			entries := entries
+			ipc, rob, tile := ablate(b, "sha", func(c *boom.Config) {
+				c.RobEntries = entries
+			}, boom.CompRob)
+			out += fmt.Sprintf("%-5d %-6.2f %-7.2f %.2f\n", entries, ipc, rob, tile)
+		}
+		ablShow("rob", out+"\n")
+	}
+}
+
+// BenchmarkAblationMSHR sweeps miss-handling registers on the miss-bound
+// dijkstra workload (Key Takeaway #8: more MSHRs buy performance for power).
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "ablation: L1D MSHRs on MegaBOOM (dijkstra)\nMSHRs IPC    L1D-mW  tile-mW\n"
+		for _, m := range []int{1, 2, 4, 8, 16} {
+			m := m
+			ipc, dc, tile := ablate(b, "dijkstra", func(c *boom.Config) {
+				c.DCacheMSHRs = m
+			}, boom.CompDCache)
+			out += fmt.Sprintf("%-5d %-6.2f %-7.2f %.2f\n", m, ipc, dc, tile)
+		}
+		ablShow("mshr", out+"\n")
+	}
+}
+
+// BenchmarkAblationMemUnits toggles MegaBOOM's second memory execution unit
+// (the other half of Key Takeaway #8).
+func BenchmarkAblationMemUnits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "ablation: memory execution units on MegaBOOM (matmult)\nunits IPC    L1D-mW  tile-mW\n"
+		for _, u := range []int{1, 2} {
+			u := u
+			ipc, dc, tile := ablate(b, "matmult", func(c *boom.Config) {
+				c.MemIssueWidth = u
+			}, boom.CompDCache)
+			out += fmt.Sprintf("%-5d %-6.2f %-7.2f %.2f\n", u, ipc, dc, tile)
+		}
+		ablShow("memu", out+"\n")
+	}
+}
+
+// BenchmarkAblationIssueSlots sweeps the integer issue queue depth (Key
+// Takeaway #5 territory: deeper collapsing queues cost energy per entry).
+func BenchmarkAblationIssueSlots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := "ablation: integer issue slots on MegaBOOM (dijkstra)\nslots IPC    IQ-mW   tile-mW\n"
+		for _, s := range []int{12, 20, 28, 40, 64} {
+			s := s
+			ipc, iq, tile := ablate(b, "dijkstra", func(c *boom.Config) {
+				c.IntIssueSlots = s
+			}, boom.CompIntIssue)
+			out += fmt.Sprintf("%-5d %-6.2f %-7.2f %.2f\n", s, ipc, iq, tile)
+		}
+		ablShow("slots", out+"\n")
+	}
+}
+
+// BenchmarkBaselinePreRTL quantifies the accuracy gap between the McPAT-
+// style pre-RTL baseline (internal/prertl) and the calibrated RTL-style
+// flow — the paper's §II motivation for working at RTL.
+func BenchmarkBaselinePreRTL(b *testing.B) {
+	cfg := boom.LargeBOOM()
+	est := power.NewEstimator(cfg, asap7.Default())
+	var avgErr float64
+	for i := 0; i < b.N; i++ {
+		var sumErr float64
+		var n int
+		for _, name := range []string{"sha", "dijkstra", "fft"} {
+			st := runTiming(b, name, cfg)
+			rtl, err := est.Estimate(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre, err := prertl.Estimate(cfg, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, comp := range boom.AnalyzedComponents() {
+				ref := rtl.Comp[comp].TotalMW()
+				if ref < 0.05 {
+					continue
+				}
+				sumErr += math.Abs(pre.MW[comp]-ref) / ref
+				n++
+			}
+		}
+		avgErr = sumErr / float64(n)
+	}
+	b.ReportMetric(100*avgErr, "preRTL-error-%")
+}
+
+// BenchmarkAblationL2 sweeps the shared L2 size against a dijkstra instance
+// whose adjacency matrix is ~400 KiB: IPC jumps once the matrix becomes
+// L2-resident.
+func BenchmarkAblationL2(b *testing.B) {
+	w, err := workloads.BuildDijkstraCustom(320, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		out := "ablation: L2 capacity on MegaBOOM (dijkstra V=320, 410 KiB matrix)\nL2-KiB IPC    cycles\n"
+		for _, kib := range []int{128, 256, 512, 1024} {
+			cfg := boom.MegaBOOM()
+			cfg.L2KiB = kib
+			cpu, err := w.NewCPU()
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := boom.New(cfg)
+			c.Run(func(r *sim.Retired) bool {
+				if cpu.Halted {
+					return false
+				}
+				if err := cpu.Step(r); err != nil {
+					panic(err)
+				}
+				return true
+			}, math.MaxUint64)
+			out += fmt.Sprintf("%-6d %-6.2f %d\n", kib, c.Stats().IPC(), c.Stats().Cycles)
+		}
+		ablShow("l2", out+"\n")
+	}
+}
+
+// BenchmarkAblationWarmup quantifies the §IV-A warm-up requirement: the
+// SimPoint IPC error against a full detailed run shrinks as the pre-
+// measurement warm-up window grows (cold caches/predictor otherwise bias
+// every interval).
+func BenchmarkAblationWarmup(b *testing.B) {
+	cfg := boom.LargeBOOM()
+	w, err := workloads.Build("stringsearch", workloads.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := core.RunFull(w, cfg, core.DefaultFlowConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		out := "ablation: SimPoint warm-up window (stringsearch, LargeBOOM)\nwarmup  simpoint-IPC  full-IPC  error%\n"
+		for _, warm := range []int64{0, 2000, 10000, 20000} {
+			fc := core.DefaultFlowConfig()
+			fc.WarmupInsts = warm
+			w2, err := workloads.Build("stringsearch", workloads.ScaleTiny)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.ProfileWorkload(w2, fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := core.RunSimPoint(p, cfg, fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			errPct := 100 * (r.IPC() - full.IPC()) / full.IPC()
+			out += fmt.Sprintf("%-7d %-13.3f %-9.3f %+.2f\n", warm, r.IPC(), full.IPC(), errPct)
+			last = math.Abs(errPct)
+		}
+		ablShow("warmup", out+"\n")
+	}
+	b.ReportMetric(last, "final-IPC-error-%")
+}

@@ -1,0 +1,101 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section from a fresh experiment sweep:
+//
+//	go run ./cmd/tables                 # full sweep at default scale
+//	go run ./cmd/tables -scale tiny     # quick look
+//	go run ./cmd/tables -only fig10     # one artifact
+//	go run ./cmd/tables -csv -out data  # write CSV files for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "workload scale: tiny|default|paper")
+	only := flag.String("only", "", "render only one artifact: table1,table2,fig5..fig11,speedup,phases,sources,takeaways")
+	csv := flag.Bool("csv", false, "write CSV files instead of text tables")
+	out := flag.String("out", ".", "output directory for -csv")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var progress func(string)
+	if !*quiet {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	configs := boom.Configs()
+	fc := core.FlowConfigFor(scale)
+	sw, err := core.RunSweep(workloads.Names(), configs, scale, fc, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	artifacts := []struct {
+		key string
+		t   *report.Table
+	}{
+		{"table1", report.TableI(configs)},
+		{"table2", report.TableII(sw)},
+		{"fig5", report.FigComponentPower(sw, "MediumBOOM")},
+		{"fig6", report.FigComponentPower(sw, "LargeBOOM")},
+		{"fig7", report.FigComponentPower(sw, "MegaBOOM")},
+		{"fig8", report.FigSlotPower(sw, "MegaBOOM", "dijkstra", "sha")},
+		{"fig9", report.FigContribution(sw)},
+		{"fig10", report.FigIPC(sw)},
+		{"fig11", report.FigPerfPerWatt(sw)},
+		{"speedup", report.SpeedupTable(sw)},
+		{"phases", report.PhaseProfile(sw, "MegaBOOM", "sha")},
+		{"sources", report.PowerSources(sw)},
+	}
+	if *only == "" || strings.EqualFold(*only, "takeaways") {
+		if !*csv {
+			fmt.Println(report.Takeaways(sw))
+		}
+	}
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(*only, a.key) {
+			continue
+		}
+		if *csv {
+			path := filepath.Join(*out, a.key+".csv")
+			if err := os.WriteFile(path, []byte(a.t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		} else {
+			fmt.Println(a.t.Render())
+		}
+	}
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "tiny":
+		return workloads.ScaleTiny, nil
+	case "default":
+		return workloads.ScaleDefault, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (tiny|default|paper)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

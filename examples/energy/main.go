@@ -1,0 +1,65 @@
+// Energy: reproduce the paper's headline energy-efficiency result (Figs. 10
+// and 11): the biggest core wins on IPC, but the smallest core wins on
+// performance per watt on most workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	names := []string{"sha", "qsort", "stringsearch", "tarfind"}
+	configs := boom.Configs()
+	fc := core.FlowConfigFor(workloads.ScaleTiny)
+
+	sw, err := core.RunSweep(names, configs, workloads.ScaleTiny, fc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s", "IPC")
+	for _, c := range configs {
+		fmt.Printf(" %12s", c.Name)
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("%-14s", n)
+		for _, c := range configs {
+			fmt.Printf(" %12.2f", sw.Results[c.Name][n].IPC())
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%-14s", "IPC/W")
+	for _, c := range configs {
+		fmt.Printf(" %12s", c.Name)
+	}
+	fmt.Println()
+	wins := map[string]int{}
+	for _, n := range names {
+		fmt.Printf("%-14s", n)
+		best, bestV := "", 0.0
+		for _, c := range configs {
+			v := sw.Results[c.Name][n].PerfPerWatt()
+			fmt.Printf(" %12.0f", v)
+			if v > bestV {
+				best, bestV = c.Name, v
+			}
+		}
+		wins[best]++
+		fmt.Printf("   ← %s\n", best)
+	}
+
+	fmt.Println()
+	for _, c := range configs {
+		if wins[c.Name] > 0 {
+			fmt.Printf("%s wins perf/W on %d of %d workloads\n", c.Name, wins[c.Name], len(names))
+		}
+	}
+	fmt.Println("\npaper's conclusion: the smallest OoO core, while slowest, prevails in energy efficiency")
+}

@@ -1,0 +1,90 @@
+// Hotspots: reproduce the paper's per-component hotspot analysis (the view
+// behind Figs. 5–7 and Key Takeaways #1–#8) on a few workloads, then run
+// the Takeaway-#7 ablation: how much of the branch-predictor power is TAGE
+// itself, measured by swapping in a GShare predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+var names = []string{"bitcount", "dijkstra", "fft"}
+
+func main() {
+	cfg := boom.LargeBOOM()
+	fc := core.FlowConfigFor(workloads.ScaleTiny)
+
+	fmt.Printf("per-component power (mW) on %s:\n\n%-16s", cfg.Name, "component")
+	for _, n := range names {
+		fmt.Printf(" %12s", n)
+	}
+	fmt.Println()
+
+	results := map[string]*core.Result{}
+	for _, n := range names {
+		w, err := workloads.Build(n, workloads.ScaleTiny)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := core.ProfileWorkload(w, fc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := core.RunSimPoint(p, cfg, fc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[n] = r
+	}
+	for _, c := range boom.AnalyzedComponents() {
+		fmt.Printf("%-16s", c)
+		for _, n := range names {
+			fmt.Printf(" %12.2f", results[n].Power.Comp[c].TotalMW())
+		}
+		fmt.Println()
+	}
+
+	// Ablation (Key Takeaway #7): TAGE vs GShare branch-predictor power.
+	fmt.Println("\nTAGE vs GShare branch-predictor power (dijkstra):")
+	tage := bpPower(cfg, "dijkstra")
+	gcfg := cfg
+	gcfg.Predictor = boom.PredictorGShare
+	gshare := bpPower(gcfg, "dijkstra")
+	fmt.Printf("  TAGE   %5.2f mW\n  GShare %5.2f mW\n  ratio  %.1f× (paper: ≈2.5×)\n",
+		tage, gshare, tage/gshare)
+}
+
+func bpPower(cfg boom.Config, name string) float64 {
+	w, err := workloads.Build(name, workloads.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := w.NewCPU()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := boom.New(cfg)
+	c.Run(func(r *sim.Retired) bool {
+		if cpu.Halted {
+			return false
+		}
+		if err := cpu.Step(r); err != nil {
+			log.Fatal(err)
+		}
+		return true
+	}, math.MaxUint64)
+	rep, err := power.NewEstimator(cfg, asap7.Default()).Estimate(c.Stats())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.Comp[boom.CompBranchPredictor].TotalMW()
+}

@@ -1,0 +1,50 @@
+// Quickstart: evaluate one workload on one BOOM design point with the
+// SimPoint-based flow and print IPC, energy efficiency and the top power
+// hotspots — the whole pipeline of the paper in a few lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 1. Build a workload (MiBench sha at test scale).
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Profile: BBVs → SimPoint clustering → checkpoints.
+	fc := core.FlowConfigFor(workloads.ScaleTiny)
+	profile, err := core.ProfileWorkload(w, fc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d simulation points (%.0f%% coverage)\n",
+		w.Name, profile.TotalInsts, profile.NumSimPoints(),
+		100*profile.Selection.Coverage)
+
+	// 3. Measure the simulation points on MediumBOOM and estimate power.
+	res, err := core.RunSimPoint(profile, boom.MediumBOOM(), fc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IPC %.2f, tile power %.2f mW, %.0f IPC/W\n\n",
+		res.IPC(), res.TotalPowerMW(), res.PerfPerWatt())
+
+	// 4. Rank the power hotspots (the paper's Figs. 5–7 view).
+	comps := boom.AnalyzedComponents()
+	sort.Slice(comps, func(i, j int) bool {
+		return res.Power.Comp[comps[i]].TotalMW() > res.Power.Comp[comps[j]].TotalMW()
+	})
+	fmt.Println("top-5 power hotspots:")
+	for _, c := range comps[:5] {
+		fmt.Printf("  %-16s %5.2f mW\n", c, res.Power.Comp[c].TotalMW())
+	}
+}

@@ -1,0 +1,78 @@
+// Package asap7 provides a synthetic 7-nm predictive technology library in
+// the role the ASAP7 PDK liberty files play in the paper's Cadence Joules
+// flow: per-cell-class leakage and per-event switching/internal energies at
+// the paper's operating point (0.7 V, 500 MHz).
+//
+// The values are not the (license-bound) ASAP7 characterization data; they
+// are a self-consistent coefficient set calibrated once so that the three
+// BOOM design points reproduce the per-component power the paper reports
+// (see internal/power and EXPERIMENTS.md). All cross-configuration and
+// cross-workload behaviour emerges from structure scaling and measured
+// activity, not from per-case tuning.
+package asap7
+
+// Library is the technology operating point and cell characterization used
+// by the power flow.
+type Library struct {
+	Name     string
+	VoltageV float64
+	ClockMHz float64
+
+	// Leakage, in nanowatts.
+	FlopLeakNW    float64 // per flip-flop (state bit in registers/queues)
+	SRAMLeakNWBit float64 // per SRAM bit (caches, big predictor tables)
+	CombLeakNWGE  float64 // per gate-equivalent of combinational logic
+
+	// Dynamic energy, in picojoules per event.
+	FlopClockPJ    float64 // clock-pin energy per (non-gated) flop per cycle
+	FlopWritePJ    float64 // data toggle into a flop
+	RegReadPJBit   float64 // register-file read, per bit per port
+	RegWritePJBit  float64 // register-file write, per bit per port
+	SRAMReadPJBit  float64 // SRAM array read, per bit of the accessed row
+	SRAMWritePJBit float64
+	SRAMBitlinePJ  float64 // per KiB of array precharged per access
+	CAMSearchPJBit float64 // CAM tag comparison, per compared bit
+	ShiftPJBit     float64 // collapsing-queue entry move, per bit
+	BypassPJBit    float64 // bypass-network transfer, per bit per hop
+	ALUOpPJ        float64 // integer ALU operation
+	MulOpPJ        float64
+	DivOpPJ        float64
+	FPOpPJ         float64
+	AGUOpPJ        float64
+}
+
+// Default returns the calibrated 7-nm library at the paper's 500 MHz /
+// 0.7 V operating point.
+func Default() Library {
+	return Library{
+		Name:     "asap7-like 7nm predictive",
+		VoltageV: 0.7,
+		ClockMHz: 500,
+
+		FlopLeakNW:    1.35,
+		SRAMLeakNWBit: 0.16,
+		CombLeakNWGE:  0.45,
+
+		FlopClockPJ:    0.0035,
+		FlopWritePJ:    0.0045,
+		RegReadPJBit:   0.0038,
+		RegWritePJBit:  0.0052,
+		SRAMReadPJBit:  0.0019,
+		SRAMWritePJBit: 0.0026,
+		SRAMBitlinePJ:  0.065,
+		CAMSearchPJBit: 0.0016,
+		ShiftPJBit:     0.0040,
+		BypassPJBit:    0.0024,
+		ALUOpPJ:        1.5,
+		MulOpPJ:        3.1,
+		DivOpPJ:        7.5,
+		FPOpPJ:         4.0,
+		AGUOpPJ:        0.75,
+	}
+}
+
+// MWPerPJPerCycle converts an energy rate (pJ/cycle) into milliwatts at the
+// library's clock: mW = pJ/cycle × f(GHz).
+func (l Library) MWPerPJPerCycle() float64 {
+	return l.ClockMHz / 1000.0
+}

@@ -1,0 +1,60 @@
+package asap7
+
+import "testing"
+
+func TestDefaultLibrarySanity(t *testing.T) {
+	lib := Default()
+	if lib.VoltageV != 0.7 || lib.ClockMHz != 500 {
+		t.Fatalf("operating point %v V / %v MHz, want 0.7/500 (paper §IV-A)", lib.VoltageV, lib.ClockMHz)
+	}
+	positives := map[string]float64{
+		"FlopLeakNW":     lib.FlopLeakNW,
+		"SRAMLeakNWBit":  lib.SRAMLeakNWBit,
+		"CombLeakNWGE":   lib.CombLeakNWGE,
+		"FlopClockPJ":    lib.FlopClockPJ,
+		"FlopWritePJ":    lib.FlopWritePJ,
+		"RegReadPJBit":   lib.RegReadPJBit,
+		"RegWritePJBit":  lib.RegWritePJBit,
+		"SRAMReadPJBit":  lib.SRAMReadPJBit,
+		"SRAMWritePJBit": lib.SRAMWritePJBit,
+		"SRAMBitlinePJ":  lib.SRAMBitlinePJ,
+		"CAMSearchPJBit": lib.CAMSearchPJBit,
+		"ShiftPJBit":     lib.ShiftPJBit,
+		"BypassPJBit":    lib.BypassPJBit,
+		"ALUOpPJ":        lib.ALUOpPJ,
+		"MulOpPJ":        lib.MulOpPJ,
+		"DivOpPJ":        lib.DivOpPJ,
+		"FPOpPJ":         lib.FPOpPJ,
+		"AGUOpPJ":        lib.AGUOpPJ,
+	}
+	for name, v := range positives {
+		if v <= 0 {
+			t.Errorf("%s = %v, must be positive", name, v)
+		}
+	}
+	// Relative magnitudes that any sane library obeys.
+	if lib.SRAMLeakNWBit >= lib.FlopLeakNW {
+		t.Error("SRAM bits must leak less than flip-flops")
+	}
+	if lib.SRAMReadPJBit >= lib.RegReadPJBit*4 {
+		t.Error("SRAM bit reads should not dwarf register reads")
+	}
+	if !(lib.ALUOpPJ < lib.MulOpPJ && lib.MulOpPJ < lib.DivOpPJ) {
+		t.Error("operation energies must order ALU < MUL < DIV")
+	}
+	if lib.FPOpPJ <= lib.ALUOpPJ {
+		t.Error("FP ops cost more than integer ALU ops")
+	}
+}
+
+func TestMWConversion(t *testing.T) {
+	lib := Default()
+	// 1 pJ per cycle at 500 MHz is 0.5 mW.
+	if got := lib.MWPerPJPerCycle(); got != 0.5 {
+		t.Fatalf("MWPerPJPerCycle = %v, want 0.5", got)
+	}
+	lib.ClockMHz = 1000
+	if got := lib.MWPerPJPerCycle(); got != 1.0 {
+		t.Fatalf("at 1 GHz: %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,950 @@
+package boom
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rv64"
+	"repro/internal/sim"
+)
+
+// Pipeline latencies (cycles), mirroring SonicBOOM's functional units at
+// 500 MHz. Loads see latLoadHit from issue to usable data on an L1 hit; L2
+// and DRAM latencies are additive.
+const (
+	latALU     = 1
+	latMul     = 3
+	latDiv     = 16 // unpipelined iterative divider
+	latFPALU   = 4
+	latFPMul   = 4
+	latFPDiv   = 15 // unpipelined
+	latStore   = 1
+	latLoadHit = 4
+	latForward = 2 // store-to-load forward
+
+	redirectPenalty = 9 // execute-resolved mispredict to first refetched instruction (BOOM ~12-16 total incl. resolve)
+	btbBubble       = 2 // decode-resolved target (taken branch without BTB entry)
+
+	ringSize = 512 // event ring; must exceed the longest latency
+)
+
+type uopState uint8
+
+const (
+	stWaiting uopState = iota
+	stIssued
+	stDone
+)
+
+// depRef is a reference to a producing uop. seq disambiguates recycled uop
+// objects: if the pointer's seq moved on, the producer has committed and the
+// dependency is satisfied.
+type depRef struct {
+	u   *uop
+	seq uint64
+}
+
+func (d depRef) ready() bool {
+	return d.u == nil || d.u.seq != d.seq || d.u.state == stDone
+}
+
+type uop struct {
+	seq     uint64
+	pc      uint64
+	nextPC  uint64
+	memAddr uint64
+	memSize uint8
+	op      rv64.Op
+	class   rv64.Class
+	taken   bool
+
+	rs1, rs2, rs3, rd uint8
+	imm               int64 // retained for pipeline tracing
+
+	dep [3]depRef
+
+	dstInt, dstFp   bool
+	isLoad, isStore bool
+	fpData          bool // store data (or load dest) in FP file
+
+	state     uopState
+	doneAt    uint64
+	mispred   bool
+	addrKnown bool // stores: STA has issued
+
+	// pipeline-trace timestamps (filled only when tracing is on)
+	fetchedAt, dispatchedAt, issuedAt uint64
+}
+
+// Core is one timing-model instance. Create with New, drive with Run.
+type Core struct {
+	cfg   Config
+	stats *Stats
+
+	bp     *bpred
+	icache *cacheModel
+	dcache *cacheModel
+	l2     *cacheModel
+
+	cycle   uint64
+	seq     uint64
+	retired uint64
+
+	next func(*sim.Retired) bool
+	peek *uop // one-uop fetch lookahead
+	eof  bool
+
+	fetchBuf []*uop
+	rob      []*uop // FIFO, index 0 oldest
+	intQ     []*uop
+	memQ     []*uop
+	fpQ      []*uop
+	stq      []*uop // stores in program order, pruned at commit
+	stdWait  []*uop // stores whose address issued but data is pending (STD)
+
+	// Wrong-path pressure: while a mispredicted branch is unresolved the
+	// real front end keeps dispatching wrong-path uops into the issue
+	// queues. The trace has no wrong path, so the model accounts the
+	// occupancy/activity (not timing) of those phantom entries here.
+	wrongInt, wrongMem, wrongFp int
+
+	lastInt [32]depRef
+	lastFp  [32]depRef
+
+	intInFlight, fpInFlight int
+	ldqUsed                 int
+
+	events     [ringSize][]*uop
+	mshrredeem [ringSize]int
+	mshrsBusy  int
+
+	fetchReadyAt  uint64
+	redirect      *uop
+	redirectDisp  bool // the mispredicted branch has dispatched (wrong path may fill queues)
+	divBusyUntil  uint64
+	fdivBusyUntil uint64
+
+	// dispatched-uop class mix, used to shape wrong-path pressure
+	dispInt, dispMem, dispFp uint64
+
+	checkInv bool
+
+	traceW    io.Writer
+	traceLeft uint64
+
+	freeUops []*uop
+}
+
+// New builds a core for cfg. Panics on invalid configs (programmer error).
+func New(cfg Config) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{cfg: cfg}
+	c.stats = NewStats(&cfg)
+	c.bp = newBPred(&c.cfg, c.stats)
+	c.icache = newCacheModel(cfg.ICacheKiB, cfg.ICacheWays, cfg.LineBytes)
+	c.dcache = newCacheModel(cfg.DCacheKiB, cfg.DCacheWays, cfg.LineBytes)
+	c.l2 = newCacheModel(cfg.L2KiB, cfg.L2Ways, cfg.LineBytes)
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() *Stats { return c.stats }
+
+// ResetStats zeroes the counters while keeping all microarchitectural state
+// (predictors, caches, queues) — this is the warm-up boundary of the
+// SimPoint methodology.
+func (c *Core) ResetStats() {
+	old := c.stats
+	c.stats = NewStats(&c.cfg)
+	c.bp.stats = c.stats
+	_ = old
+}
+
+// Run feeds committed instructions from next through the pipeline until
+// maxRetire further instructions have committed (or the trace ends). It
+// returns the number retired by this call.
+func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) uint64 {
+	c.next = next
+	c.eof = false
+	start := c.retired
+	target := start + maxRetire
+	lastRetired, lastProgress := c.retired, c.cycle
+	for c.retired < target {
+		if c.eof && c.peek == nil && len(c.rob) == 0 && len(c.fetchBuf) == 0 {
+			break
+		}
+		c.step()
+		if c.retired != lastRetired {
+			lastRetired, lastProgress = c.retired, c.cycle
+		} else if c.cycle-lastProgress > 100_000 {
+			// A stuck pipeline is a model bug, not a workload property:
+			// fail loudly with enough state to debug.
+			panic(fmt.Sprintf("boom: pipeline deadlock at cycle %d (retired %d, rob %d, fb %d, intQ %d, memQ %d, fpQ %d, stq %d, mshrs %d)",
+				c.cycle, c.retired, len(c.rob), len(c.fetchBuf), len(c.intQ), len(c.memQ), len(c.fpQ), len(c.stq), c.mshrsBusy))
+		}
+	}
+	return c.retired - start
+}
+
+func (c *Core) allocUop() *uop {
+	if n := len(c.freeUops); n > 0 {
+		u := c.freeUops[n-1]
+		c.freeUops = c.freeUops[:n-1]
+		*u = uop{}
+		return u
+	}
+	return new(uop)
+}
+
+// pullTrace refills the peek slot from the trace.
+func (c *Core) pullTrace() *uop {
+	if c.peek != nil {
+		return c.peek
+	}
+	if c.eof {
+		return nil
+	}
+	var r sim.Retired
+	if !c.next(&r) {
+		c.eof = true
+		return nil
+	}
+	u := c.allocUop()
+	c.seq++
+	u.seq = c.seq
+	u.pc = r.PC
+	u.nextPC = r.NextPC
+	u.memAddr = r.MemAddr
+	u.op = r.Inst.Op
+	u.class = r.Inst.Op.Class()
+	u.taken = r.Taken
+	u.memSize = uint8(r.Inst.Op.MemBytes())
+	u.isLoad = u.class == rv64.ClassLoad
+	u.isStore = u.class == rv64.ClassStore
+	u.fpData = r.Inst.Op.IsFPMem()
+	// Register dependencies (resolved against the rename state at dispatch;
+	// here we only record the architectural fields).
+	u.rs1, u.rs2, u.rs3 = r.Inst.Rs1, r.Inst.Rs2, r.Inst.Rs3
+	u.rd = r.Inst.Rd
+	u.imm = r.Inst.Imm
+	c.peek = u
+	return u
+}
+
+func (c *Core) step() {
+	c.processCompletions()
+	c.commit()
+	c.issueAll()
+	c.dispatch()
+	c.fetch()
+	c.accountOccupancy()
+	if c.checkInv {
+		c.assertInvariants()
+	}
+	c.cycle++
+}
+
+// processCompletions handles every uop whose result becomes available this
+// cycle: register-file writeback and issue-queue wakeup broadcast.
+func (c *Core) processCompletions() {
+	slot := c.cycle % ringSize
+	if n := c.mshrredeem[slot]; n > 0 {
+		c.mshrsBusy -= n
+		c.mshrredeem[slot] = 0
+	}
+	done := c.events[slot]
+	if len(done) == 0 {
+		return
+	}
+	c.events[slot] = done[:0]
+	for _, u := range done {
+		u.state = stDone
+		if u.dstInt {
+			c.stats.Comp[CompIntRF].Writes++
+		}
+		if u.dstFp {
+			c.stats.Comp[CompFpRF].Writes++
+		}
+		if u.dstInt || u.dstFp {
+			// Wakeup: every valid issue-queue entry compares its source
+			// tags against the broadcast tag (CAM activity scales with
+			// occupancy — the effect behind Key Takeaway #4).
+			c.stats.Comp[CompIntIssue].CAMSearches += uint64(len(c.intQ))
+			c.stats.Comp[CompMemIssue].CAMSearches += uint64(len(c.memQ))
+			c.stats.Comp[CompFpIssue].CAMSearches += uint64(len(c.fpQ))
+		}
+		if u.mispred && c.redirect == u {
+			// Branch resolved in execute: schedule the front-end redirect
+			// and flush the wrong-path entries from the issue queues.
+			c.redirect = nil
+			c.fetchReadyAt = c.cycle + redirectPenalty
+			c.wrongInt, c.wrongMem, c.wrongFp = 0, 0, 0
+		}
+	}
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit() {
+	n := 0
+	for n < c.cfg.RetireWidth && len(c.rob) > 0 {
+		u := c.rob[0]
+		if u.state != stDone {
+			break
+		}
+		c.rob = c.rob[1:]
+		c.stats.Comp[CompRob].Reads++
+		if u.isStore {
+			// Store data leaves the store queue and is written to the L1D.
+			c.stats.Comp[CompDCache].Writes++
+			c.stats.Comp[CompLSU].Reads++
+			if !c.dcache.probe(u.memAddr) {
+				// Write miss: allocate through L2 (no pipeline stall; the
+				// store buffer hides it, but the energy is real).
+				c.dcache.access(u.memAddr)
+				c.l2.access(u.memAddr)
+			}
+			// Prune from the store queue (it is always the oldest).
+			if len(c.stq) > 0 && c.stq[0] == u {
+				c.stq = c.stq[1:]
+			}
+		}
+		if u.isLoad {
+			c.ldqUsed--
+			c.stats.Comp[CompLSU].Reads++
+		}
+		if u.dstInt {
+			c.intInFlight--
+		}
+		if u.dstFp {
+			c.fpInFlight--
+		}
+		c.retired++
+		c.stats.Insts++
+		c.traceRetire(u)
+		c.freeUops = append(c.freeUops, u)
+		n++
+	}
+}
+
+func (c *Core) schedule(u *uop, doneAt uint64) {
+	if u.state == stWaiting {
+		c.traceIssue(u)
+	}
+	u.state = stIssued
+	u.doneAt = doneAt
+	c.events[doneAt%ringSize] = append(c.events[doneAt%ringSize], u)
+}
+
+func (c *Core) ready(u *uop) bool {
+	return u.dep[0].ready() && u.dep[1].ready() && u.dep[2].ready()
+}
+
+// issueAll runs the three distributed scheduler queues. The integer and
+// memory queues share the integer register file read ports; the FP queue
+// (plus FP store data) uses the FP ports.
+func (c *Core) issueAll() {
+	intReads := c.cfg.IntRFReadPorts
+	fpReads := c.cfg.FpRFReadPorts
+	c.issueInt(&intReads)
+	c.issueMem(&intReads, &fpReads)
+	c.issueFp(&fpReads)
+}
+
+func (c *Core) issueInt(intReads *int) {
+	issued := 0
+	for i := 0; i < len(c.intQ) && issued < c.cfg.IntIssueWidth; {
+		u := c.intQ[i]
+		if !c.ready(u) {
+			i++
+			continue
+		}
+		reads := u.nIntSrcs()
+		if reads > *intReads {
+			i++
+			continue
+		}
+		var lat uint64
+		switch u.class {
+		case rv64.ClassMul:
+			lat = latMul
+		case rv64.ClassDiv:
+			if c.cycle < c.divBusyUntil {
+				i++
+				continue
+			}
+			lat = latDiv
+			c.divBusyUntil = c.cycle + latDiv
+		default:
+			lat = latALU
+		}
+		*intReads -= reads
+		c.stats.Comp[CompIntRF].Reads += uint64(reads)
+		c.removeFromQueue(&c.intQ, i, CompIntIssue)
+		c.schedule(u, c.cycle+lat)
+		c.countExec(u)
+		issued++
+	}
+}
+
+func (c *Core) issueMem(intReads, fpReads *int) {
+	// Store-data (STD) completion: stores whose address generation already
+	// issued finish as soon as their data operand arrives.
+	for i := 0; i < len(c.stdWait); {
+		u := c.stdWait[i]
+		if !u.dep[1].ready() {
+			i++
+			continue
+		}
+		if u.fpData {
+			if *fpReads < 1 {
+				i++
+				continue
+			}
+			*fpReads--
+			c.stats.Comp[CompFpRF].Reads++
+		} else {
+			if *intReads < 1 {
+				i++
+				continue
+			}
+			*intReads--
+			c.stats.Comp[CompIntRF].Reads++
+		}
+		c.stdWait[i] = c.stdWait[len(c.stdWait)-1]
+		c.stdWait = c.stdWait[:len(c.stdWait)-1]
+		c.schedule(u, c.cycle+latStore)
+	}
+
+	issued := 0
+	for i := 0; i < len(c.memQ) && issued < c.cfg.MemIssueWidth; {
+		u := c.memQ[i]
+		if *intReads < 1 { // AGU always reads the base register
+			break
+		}
+		if u.isStore {
+			// STA issues as soon as the address operand is ready, BOOM's
+			// STA/STD split: younger loads then disambiguate against it.
+			if !u.dep[0].ready() {
+				i++
+				continue
+			}
+			*intReads--
+			c.stats.Comp[CompIntRF].Reads++
+			u.addrKnown = true
+			// Store issue searches the load queue for ordering violations.
+			c.stats.Comp[CompLSU].CAMSearches += uint64(c.ldqUsed)
+			c.removeFromQueue(&c.memQ, i, CompMemIssue)
+			c.countExec(u)
+			if u.dep[1].ready() {
+				// Data already available: STD fires with the STA.
+				if u.fpData {
+					c.stats.Comp[CompFpRF].Reads++
+				} else {
+					c.stats.Comp[CompIntRF].Reads++
+				}
+				c.schedule(u, c.cycle+latStore)
+			} else {
+				c.stdWait = append(c.stdWait, u)
+			}
+			issued++
+			continue
+		}
+
+		if !c.ready(u) {
+			i++
+			continue
+		}
+		// Load: older stores must have known addresses, then forward or
+		// access the L1D.
+		blocked := false
+		var forwarder *uop
+		for _, s := range c.stq {
+			if s.seq >= u.seq {
+				break
+			}
+			if !s.addrKnown {
+				blocked = true
+				break
+			}
+			if rangesOverlap(s.memAddr, uint64(s.memSize), u.memAddr, uint64(u.memSize)) {
+				forwarder = s // youngest older matching store wins
+			}
+		}
+		if blocked {
+			i++
+			continue
+		}
+		if forwarder != nil && forwarder.state != stDone {
+			// Matching older store whose data hasn't arrived: wait.
+			i++
+			continue
+		}
+		// Load issue searches the store queue (CAM) for forwarding.
+		c.stats.Comp[CompLSU].CAMSearches += uint64(len(c.stq))
+		if forwarder != nil {
+			*intReads--
+			c.stats.Comp[CompIntRF].Reads++
+			c.stats.StoreForward++
+			c.removeFromQueue(&c.memQ, i, CompMemIssue)
+			c.schedule(u, c.cycle+latForward)
+			c.countExec(u)
+			issued++
+			continue
+		}
+		// L1D access; misses need an MSHR.
+		hit := c.dcache.probe(u.memAddr)
+		if !hit && c.mshrsBusy >= c.cfg.DCacheMSHRs {
+			i++ // replay next cycle
+			continue
+		}
+		*intReads--
+		c.stats.Comp[CompIntRF].Reads++
+		c.stats.Comp[CompDCache].Reads++
+		var lat uint64
+		if hit {
+			c.dcache.access(u.memAddr) // update LRU
+			c.stats.DCacheHits++
+			lat = latLoadHit
+		} else {
+			c.dcache.access(u.memAddr) // allocate
+			c.stats.DCacheMisses++
+			c.mshrsBusy++
+			extra := uint64(c.cfg.L2Latency)
+			if c.l2.access(u.memAddr) {
+				c.stats.L2Hits++
+			} else {
+				c.stats.L2Misses++
+				extra += uint64(c.cfg.MemLatency)
+			}
+			lat = latLoadHit + extra
+			c.mshrredeem[(c.cycle+lat)%ringSize]++
+			c.stats.Comp[CompDCache].Writes++ // line fill
+		}
+		c.removeFromQueue(&c.memQ, i, CompMemIssue)
+		c.schedule(u, c.cycle+lat)
+		c.countExec(u)
+		issued++
+	}
+}
+
+func (c *Core) issueFp(fpReads *int) {
+	issued := 0
+	for i := 0; i < len(c.fpQ) && issued < c.cfg.FpIssueWidth; {
+		u := c.fpQ[i]
+		if !c.ready(u) {
+			i++
+			continue
+		}
+		reads := u.nFpSrcs()
+		intReads := u.nIntSrcs() // fcvt/fmv from the int file
+		if reads > *fpReads {
+			i++
+			continue
+		}
+		var lat uint64
+		switch u.class {
+		case rv64.ClassFPMul:
+			lat = latFPMul
+		case rv64.ClassFPDiv:
+			if c.cycle < c.fdivBusyUntil {
+				i++
+				continue
+			}
+			lat = latFPDiv
+			c.fdivBusyUntil = c.cycle + latFPDiv
+		default:
+			lat = latFPALU
+		}
+		*fpReads -= reads
+		c.stats.Comp[CompFpRF].Reads += uint64(reads)
+		c.stats.Comp[CompIntRF].Reads += uint64(intReads)
+		c.removeFromQueue(&c.fpQ, i, CompFpIssue)
+		c.schedule(u, c.cycle+lat)
+		c.countExec(u)
+		issued++
+	}
+}
+
+// removeFromQueue removes index i from a collapsing queue, charging the
+// entry shifts that compaction performs in hardware (Key Takeaway #5).
+func (c *Core) removeFromQueue(q *[]*uop, i int, comp Component) {
+	s := *q
+	c.stats.Comp[comp].Reads++ // entry read-out on grant
+	c.stats.Comp[comp].Shifts += uint64(len(s) - i - 1)
+	copy(s[i:], s[i+1:])
+	*q = s[:len(s)-1]
+}
+
+func (c *Core) countExec(u *uop) {
+	c.stats.ExecOps[u.class]++
+}
+
+// dispatch renames and dispatches up to DecodeWidth instructions from the
+// fetch buffer into the ROB and the issue queues.
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchBuf) > 0; n++ {
+		u := c.fetchBuf[0]
+		if len(c.rob) >= c.cfg.RobEntries {
+			return
+		}
+		q := c.queueFor(u)
+		if len(*q) >= c.queueCap(u) {
+			return
+		}
+		u.dstInt, u.dstFp = dstFile(u)
+		if u.dstInt && c.intInFlight >= c.cfg.IntPhysRegs-32 {
+			return
+		}
+		if u.dstFp && c.fpInFlight >= c.cfg.FpPhysRegs-32 {
+			return
+		}
+		if u.isLoad && c.ldqUsed >= c.cfg.LdqEntries {
+			return
+		}
+		if u.isStore && len(c.stq) >= c.cfg.StqEntries {
+			return
+		}
+
+		c.fetchBuf = c.fetchBuf[1:]
+		c.stats.Comp[CompFetchBuffer].Reads++
+		c.traceDispatch(u)
+		if u == c.redirect {
+			c.redirectDisp = true
+		}
+
+		// Rename: map-table reads for sources, a write for the destination,
+		// and — on any branch that can mispredict — a snapshot copy of both
+		// free lists (BOOM's allocation lists; Key Takeaway #3).
+		c.renameSources(u)
+		renameComp := CompIntRename
+		if u.dstFp || u.fpData || u.class == rv64.ClassFPALU || u.class == rv64.ClassFPMul || u.class == rv64.ClassFPDiv {
+			renameComp = CompFpRename
+		}
+		c.stats.Comp[renameComp].Reads += uint64(u.nSrcs())
+		if u.dstInt || u.dstFp {
+			c.stats.Comp[renameComp].Writes++
+		}
+		if u.class == rv64.ClassBranch || u.class == rv64.ClassJALR || u.class == rv64.ClassJAL {
+			c.stats.Comp[CompIntRename].Shifts += uint64(c.cfg.IntPhysRegs)
+			c.stats.Comp[CompFpRename].Shifts += uint64(c.cfg.FpPhysRegs)
+		}
+
+		if u.dstInt {
+			c.intInFlight++
+			c.lastInt[u.rd] = depRef{u, u.seq}
+		}
+		if u.dstFp {
+			c.fpInFlight++
+			c.lastFp[u.rd] = depRef{u, u.seq}
+		}
+		if u.isLoad {
+			c.ldqUsed++
+			c.stats.Loads++
+			c.stats.Comp[CompLSU].Writes++
+		}
+		if u.isStore {
+			c.stq = append(c.stq, u)
+			c.stats.Stores++
+			c.stats.Comp[CompLSU].Writes++
+		}
+
+		c.rob = append(c.rob, u)
+		c.stats.Comp[CompRob].Writes++
+		*q = append(*q, u)
+		switch c.compFor(u) {
+		case CompMemIssue:
+			c.dispMem++
+			c.stats.Comp[CompMemIssue].Writes++
+		case CompFpIssue:
+			c.dispFp++
+			c.stats.Comp[CompFpIssue].Writes++
+		default:
+			c.dispInt++
+			c.stats.Comp[CompIntIssue].Writes++
+		}
+		c.stats.Comp[CompOther].Reads++ // decode logic
+	}
+}
+
+func (c *Core) queueFor(u *uop) *[]*uop {
+	switch u.class {
+	case rv64.ClassLoad, rv64.ClassStore:
+		return &c.memQ
+	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
+		return &c.fpQ
+	}
+	return &c.intQ
+}
+
+func (c *Core) compFor(u *uop) Component {
+	switch u.class {
+	case rv64.ClassLoad, rv64.ClassStore:
+		return CompMemIssue
+	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
+		return CompFpIssue
+	}
+	return CompIntIssue
+}
+
+// queueCap returns the remaining capacity budget for u's queue, accounting
+// for wrong-path entries that occupy slots until the flush.
+func (c *Core) queueCap(u *uop) int {
+	switch u.class {
+	case rv64.ClassLoad, rv64.ClassStore:
+		return c.cfg.MemIssueSlots - c.wrongMem
+	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
+		return c.cfg.FpIssueSlots - c.wrongFp
+	}
+	return c.cfg.IntIssueSlots - c.wrongInt
+}
+
+// renameSources fills u.dep from the rename map.
+func (c *Core) renameSources(u *uop) {
+	d := 0
+	if u.op.HasRs1() {
+		if u.op.FPRs1() {
+			u.dep[d] = c.lastFp[u.rs1]
+		} else if u.rs1 != 0 {
+			u.dep[d] = c.lastInt[u.rs1]
+		}
+		d++
+	}
+	if u.op.HasRs2() {
+		if u.op.FPRs2() {
+			u.dep[d] = c.lastFp[u.rs2]
+		} else if u.rs2 != 0 {
+			u.dep[d] = c.lastInt[u.rs2]
+		}
+		d++
+	}
+	if u.op.HasRs3() {
+		u.dep[d] = c.lastFp[u.rs3]
+	}
+}
+
+// fetch models the front end for one cycle.
+func (c *Core) fetch() {
+	if c.redirect != nil {
+		// Waiting for a mispredicted branch to resolve: the front end keeps
+		// running down the wrong path — predictor and I-cache stay busy and
+		// wrong-path uops keep dispatching into the issue queues until the
+		// flush. The phantom entries mirror the workload's class mix.
+		c.bp.lookupCycle()
+		c.stats.Comp[CompICache].Reads++
+		if !c.redirectDisp {
+			// The branch is still in the fetch buffer: nothing younger can
+			// dispatch yet, so the queues see no wrong-path pressure.
+			return
+		}
+		total := c.dispInt + c.dispMem + c.dispFp
+		if total == 0 {
+			total = 1
+		}
+		budget := uint64(c.cfg.DecodeWidth)
+		addInt := int((budget*c.dispInt + total - 1) / total)
+		addMem := int(budget * c.dispMem / total)
+		addFp := int(budget * c.dispFp / total)
+		if room := c.cfg.IntIssueSlots - len(c.intQ) - c.wrongInt; addInt > room {
+			addInt = room
+		}
+		if room := c.cfg.MemIssueSlots - len(c.memQ) - c.wrongMem; addMem > room {
+			addMem = room
+		}
+		if room := c.cfg.FpIssueSlots - len(c.fpQ) - c.wrongFp; addFp > room {
+			addFp = room
+		}
+		if addInt > 0 {
+			c.wrongInt += addInt
+			c.stats.Comp[CompIntIssue].Writes += uint64(addInt)
+		}
+		if addMem > 0 {
+			c.wrongMem += addMem
+			c.stats.Comp[CompMemIssue].Writes += uint64(addMem)
+		}
+		if addFp > 0 {
+			c.wrongFp += addFp
+			c.stats.Comp[CompFpIssue].Writes += uint64(addFp)
+		}
+		return
+	}
+	if c.cycle < c.fetchReadyAt {
+		return
+	}
+	if len(c.fetchBuf) >= c.cfg.FetchBufferEntries {
+		return
+	}
+	first := c.pullTrace()
+	if first == nil {
+		return
+	}
+
+	// One I-cache read and one predictor lookup per fetch cycle.
+	c.stats.Comp[CompICache].Reads++
+	c.bp.lookupCycle()
+	if c.icache.access(first.pc) {
+		c.stats.ICacheHits++
+	} else {
+		c.stats.ICacheMisses++
+		c.stats.Comp[CompICache].Writes++ // fill
+		extra := uint64(c.cfg.L2Latency)
+		if c.l2.access(first.pc) {
+			c.stats.L2Hits++
+		} else {
+			c.stats.L2Misses++
+			extra += uint64(c.cfg.MemLatency)
+		}
+		c.fetchReadyAt = c.cycle + extra
+		return // retry when the line arrives
+	}
+
+	line := first.pc >> 6
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufferEntries; n++ {
+		u := c.pullTrace()
+		if u == nil {
+			return
+		}
+		if u.pc>>6 != line {
+			return // next fetch group starts at the new line
+		}
+		c.peek = nil
+		c.traceFetch(u)
+		c.fetchBuf = append(c.fetchBuf, u)
+		c.stats.Comp[CompFetchBuffer].Writes++
+
+		stop := c.predict(u)
+		if stop {
+			return
+		}
+	}
+}
+
+// predict runs the front-end prediction machinery for one fetched uop and
+// reports whether the fetch group must end (taken control flow or pending
+// redirect).
+func (c *Core) predict(u *uop) bool {
+	switch u.class {
+	case rv64.ClassBranch:
+		c.stats.Branches++
+		predTaken := c.bp.predictCond(u.pc)
+		c.bp.updateCond(u.pc, u.taken)
+		if predTaken != u.taken {
+			u.mispred = true
+			c.redirect, c.redirectDisp = u, false
+			c.stats.Mispredicts++
+			if u.taken {
+				c.bp.btbUpdate(u.pc, u.nextPC)
+			}
+			return true
+		}
+		if !u.taken {
+			return false
+		}
+		// Correctly predicted taken: the target must come from the BTB.
+		if tgt, hit := c.bp.btbLookup(u.pc); !hit || tgt != u.nextPC {
+			c.stats.BTBMisses++
+			c.bp.btbUpdate(u.pc, u.nextPC)
+			c.fetchReadyAt = c.cycle + btbBubble
+		}
+		return true
+
+	case rv64.ClassJAL:
+		if isCall(rv64.Inst{Op: u.op, Rd: u.rd}) {
+			c.bp.rasPush(u.pc + 4)
+		}
+		if tgt, hit := c.bp.btbLookup(u.pc); !hit || tgt != u.nextPC {
+			c.stats.BTBMisses++
+			c.bp.btbUpdate(u.pc, u.nextPC)
+			c.fetchReadyAt = c.cycle + btbBubble
+		}
+		return true
+
+	case rv64.ClassJALR:
+		c.stats.Branches++
+		in := rv64.Inst{Op: u.op, Rd: u.rd, Rs1: u.rs1}
+		var predicted uint64
+		var havePred bool
+		if isReturn(in) {
+			predicted, havePred = c.bp.rasPop()
+		} else {
+			predicted, havePred = c.bp.btbLookup(u.pc)
+		}
+		if isCall(in) {
+			c.bp.rasPush(u.pc + 4)
+		}
+		if !havePred || predicted != u.nextPC {
+			u.mispred = true
+			c.redirect, c.redirectDisp = u, false
+			c.stats.Mispredicts++
+			if !isReturn(in) {
+				c.bp.btbUpdate(u.pc, u.nextPC)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// accountOccupancy records per-cycle occupancy of every tracked structure.
+func (c *Core) accountOccupancy() {
+	s := c.stats
+	s.Cycles++
+	s.Comp[CompFetchBuffer].Occupancy += uint64(len(c.fetchBuf))
+	s.Comp[CompRob].Occupancy += uint64(len(c.rob))
+	s.Comp[CompIntIssue].Occupancy += uint64(len(c.intQ) + c.wrongInt)
+	s.Comp[CompMemIssue].Occupancy += uint64(len(c.memQ) + c.wrongMem)
+	s.Comp[CompFpIssue].Occupancy += uint64(len(c.fpQ) + c.wrongFp)
+	s.Comp[CompLSU].Occupancy += uint64(c.ldqUsed + len(c.stq))
+	s.Comp[CompDCache].Occupancy += uint64(c.mshrsBusy)
+	for i := 0; i < len(c.intQ)+c.wrongInt && i < len(s.IntIssueSlotCycles); i++ {
+		s.IntIssueSlotCycles[i]++
+	}
+}
+
+// nIntSrcs counts integer register file reads the uop performs.
+func (u *uop) nIntSrcs() int {
+	n := 0
+	if u.op.HasRs1() && !u.op.FPRs1() && u.rs1 != 0 {
+		n++
+	}
+	if u.op.HasRs2() && !u.op.FPRs2() && u.rs2 != 0 {
+		n++
+	}
+	return n
+}
+
+// nFpSrcs counts FP register file reads.
+func (u *uop) nFpSrcs() int {
+	n := 0
+	if u.op.HasRs1() && u.op.FPRs1() {
+		n++
+	}
+	if u.op.HasRs2() && u.op.FPRs2() {
+		n++
+	}
+	if u.op.HasRs3() {
+		n++
+	}
+	return n
+}
+
+func (u *uop) nSrcs() int { return u.nIntSrcs() + u.nFpSrcs() }
+
+// dstFile reports which register file (if any) the uop writes.
+func dstFile(u *uop) (dstInt, dstFp bool) {
+	if !u.op.HasRd() {
+		return false, false
+	}
+	if u.op.FPRd() {
+		return false, true
+	}
+	return u.rd != 0, false
+}
+
+func rangesOverlap(a uint64, an uint64, b uint64, bn uint64) bool {
+	return a < b+bn && b < a+an
+}

@@ -1,0 +1,94 @@
+package boom
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genProgram emits a random but always-terminating program: straight-line
+// blocks of random register ops, loads/stores into a scratch region, short
+// forward branches, calls to a tiny leaf, and a counted outer loop.
+func genProgram(rng *rand.Rand, blocks int) string {
+	var sb strings.Builder
+	sb.WriteString("\t.text\n\tli s0, 40\n\tli s1, 0x2000000\nouter:\n")
+	reg := func() string { return fmt.Sprintf("t%d", rng.Intn(7)) }
+	areg := func() string { return fmt.Sprintf("a%d", rng.Intn(6)) }
+	for b := 0; b < blocks; b++ {
+		n := 3 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(12) {
+			case 0:
+				fmt.Fprintf(&sb, "\tadd %s, %s, %s\n", reg(), reg(), areg())
+			case 1:
+				fmt.Fprintf(&sb, "\txori %s, %s, %d\n", reg(), reg(), rng.Intn(2048))
+			case 2:
+				fmt.Fprintf(&sb, "\tmul %s, %s, %s\n", reg(), areg(), reg())
+			case 3:
+				fmt.Fprintf(&sb, "\tdivu %s, %s, %s\n", reg(), reg(), areg())
+			case 4:
+				fmt.Fprintf(&sb, "\tld %s, %d(s1)\n", reg(), 8*rng.Intn(64))
+			case 5:
+				fmt.Fprintf(&sb, "\tsd %s, %d(s1)\n", reg(), 8*rng.Intn(64))
+			case 6:
+				fmt.Fprintf(&sb, "\tslli %s, %s, %d\n", reg(), reg(), rng.Intn(32))
+			case 7:
+				fmt.Fprintf(&sb, "\tsltu %s, %s, %s\n", areg(), reg(), reg())
+			case 8:
+				fmt.Fprintf(&sb, "\tlbu %s, %d(s1)\n", reg(), rng.Intn(256))
+			case 9:
+				fmt.Fprintf(&sb, "\taddw %s, %s, %s\n", reg(), reg(), reg())
+			case 10:
+				fmt.Fprintf(&sb, "\tcall leaf%d\n", rng.Intn(2))
+			default:
+				// Data-dependent short forward branch.
+				fmt.Fprintf(&sb, "\tbne %s, %s, skip_%d_%d\n\taddi %s, %s, 1\nskip_%d_%d:\n",
+					reg(), areg(), b, i, reg(), reg(), b, i)
+			}
+		}
+	}
+	sb.WriteString("\taddi s0, s0, -1\n\tbeq s0, zero, done\n\tj outer\ndone:\n\tj exit\n")
+	for l := 0; l < 2; l++ {
+		fmt.Fprintf(&sb, "leaf%d:\n\taddi a6, a6, %d\n\tret\n", l, l+1)
+	}
+	sb.WriteString("exit:\n")
+	return sb.String()
+}
+
+// TestRandomProgramsThroughPipeline fuzzes the timing model: random
+// programs must run to completion on every configuration with structural
+// invariants intact, retiring exactly the functional instruction count.
+func TestRandomProgramsThroughPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 30; trial++ {
+		src := genProgram(rng, 2+rng.Intn(5))
+		p := mustProgram(t, src)
+		// Functional reference count.
+		ref := newCPUFor(t, p)
+		var want uint64
+		for !ref.Halted {
+			if err := ref.Step(nil); err != nil {
+				t.Fatalf("trial %d: functional: %v", trial, err)
+			}
+			want++
+		}
+		for _, cfg := range Configs() {
+			cpu := newCPUFor(t, p)
+			core := New(cfg)
+			core.CheckInvariants(true)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("trial %d on %s: %v\nprogram:\n%s", trial, cfg.Name, r, src)
+					}
+				}()
+				core.Run(traceFrom(t, cpu), ^uint64(0))
+			}()
+			if core.Stats().Insts != want {
+				t.Fatalf("trial %d on %s: retired %d, functional %d",
+					trial, cfg.Name, core.Stats().Insts, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package boom
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+// The unpipelined divider is a structural hazard: back-to-back independent
+// divides serialize at the divide latency.
+func TestDividerStructuralHazard(t *testing.T) {
+	divs := `
+	.text
+	li  s0, 2000
+	li  t0, 1000
+	li  t1, 7
+loop:
+	divu t2, t0, t1
+	divu t3, t0, t1
+	divu t4, t0, t1
+	addi s0, s0, -1
+	bnez s0, loop
+`
+	st := runAsm(t, divs, MegaBOOM())
+	// 3 divides per iteration × latDiv cycles each, even on a 4-wide core.
+	cyclesPerIter := float64(st.Cycles) / 2000
+	if cyclesPerIter < 2.5*latDiv {
+		t.Errorf("%.1f cycles/iter for 3 serialized divides (div latency %d)", cyclesPerIter, latDiv)
+	}
+}
+
+// The FP divider is likewise unpipelined.
+func TestFPDividerStructuralHazard(t *testing.T) {
+	src := `
+	.text
+	li   t0, 3
+	fcvt.d.l fa0, t0
+	li   t0, 7
+	fcvt.d.l fa1, t0
+	li   s0, 2000
+loop:
+	fdiv.d fa2, fa1, fa0
+	fdiv.d fa3, fa1, fa0
+	addi s0, s0, -1
+	bnez s0, loop
+`
+	st := runAsm(t, src, MegaBOOM())
+	cyclesPerIter := float64(st.Cycles) / 2000
+	if cyclesPerIter < 1.8*latFPDiv {
+		t.Errorf("%.1f cycles/iter for 2 serialized FP divides", cyclesPerIter)
+	}
+}
+
+// Pipelined multiplies must NOT serialize: independent muls sustain the
+// issue width even though each takes latMul cycles.
+func TestMultiplierIsPipelined(t *testing.T) {
+	src := `
+	.text
+	li  s0, 5000
+	li  t0, 3
+loop:
+	mul t1, t0, t0
+	mul t2, t0, t0
+	mul t3, t0, t0
+	mul t4, t0, t0
+	addi s0, s0, -1
+	bnez s0, loop
+`
+	st := runAsm(t, src, MegaBOOM())
+	if ipc := st.IPC(); ipc < 2.5 {
+		t.Errorf("independent muls IPC %.2f — multiplier wrongly serialized?", ipc)
+	}
+}
+
+// A deep call chain overflows the RAS and must still resolve correctly
+// (with mispredicts), not wedge the pipeline.
+func TestRASOverflow(t *testing.T) {
+	src := `
+	.text
+	li   s1, 300
+outer:
+	li   a0, 24          # deeper than any RAS (8/16 entries)
+	call rec
+	addi s1, s1, -1
+	bnez s1, outer
+	j    done
+rec:
+	addi sp, sp, -8
+	sd   ra, 0(sp)
+	addi a0, a0, -1
+	beqz a0, unwind
+	call rec
+unwind:
+	ld   ra, 0(sp)
+	addi sp, sp, 8
+	ret
+done:
+`
+	st := runAsm(t, src, MediumBOOM())
+	if st.Insts == 0 {
+		t.Fatal("nothing retired")
+	}
+	if st.Mispredicts == 0 {
+		t.Error("RAS overflow should cause return mispredicts")
+	}
+}
+
+// Loads that miss with all MSHRs busy must replay, not be dropped: a burst
+// of independent misses on a 2-MSHR Medium core still completes and takes
+// longer than on 8-MSHR Mega.
+func TestMSHRPressure(t *testing.T) {
+	src := `
+	.text
+	li  s0, 300
+outer:
+	li  t0, 0x2000000
+	li  a1, 0x2010000
+	li  a2, 0x2020000
+	li  a3, 0x2030000
+	li  t1, 64
+inner:
+	ld  t2, 0(t0)
+	ld  t3, 0(a1)
+	ld  t4, 0(a2)
+	ld  t5, 0(a3)
+	addi t0, t0, 64
+	addi a1, a1, 64
+	addi a2, a2, 64
+	addi a3, a3, 64
+	addi t1, t1, -1
+	bnez t1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+`
+	med := runAsm(t, src, MediumBOOM())
+	mega := runAsm(t, src, MegaBOOM())
+	if med.Insts != mega.Insts {
+		t.Fatalf("retire counts differ: %d vs %d", med.Insts, mega.Insts)
+	}
+	if med.Cycles <= mega.Cycles {
+		t.Errorf("2-MSHR Medium (%d cycles) should trail 8-MSHR Mega (%d cycles)",
+			med.Cycles, mega.Cycles)
+	}
+}
+
+// BTB misses on taken branches cost a small decode bubble, visible as a
+// counter.
+func TestBTBMissCounting(t *testing.T) {
+	// A chain of forward jumps to fresh addresses defeats the BTB once each.
+	src := `
+	.text
+	li  s0, 3
+outer:
+	j l1
+l1:
+	j l2
+l2:
+	j l3
+l3:
+	j l4
+l4:
+	addi s0, s0, -1
+	bnez s0, outer
+`
+	st := runAsm(t, src, MediumBOOM())
+	if st.BTBMisses < 4 {
+		t.Errorf("expected ≥4 BTB misses on first pass, got %d", st.BTBMisses)
+	}
+	// After training, later passes should hit: misses ≪ total jumps.
+	if st.BTBMisses > 8 {
+		t.Errorf("BTB not learning: %d misses for 12 jumps", st.BTBMisses)
+	}
+}
+
+// The load queue bounds in-flight loads: a loop of loads never exceeds LDQ
+// capacity (covered by invariants) and still commits everything.
+func TestLoadQueueBound(t *testing.T) {
+	src := `
+	.text
+	li  s0, 5000
+	li  t0, 0x2000000
+loop:
+	ld  t1, 0(t0)
+	ld  t2, 8(t0)
+	ld  t3, 16(t0)
+	ld  t4, 24(t0)
+	addi s0, s0, -1
+	bnez s0, loop
+`
+	cfg := MediumBOOM()
+	cfg.LdqEntries = 4
+	p := mustProgram(t, src)
+	cpu := newCPUFor(t, p)
+	core := New(cfg)
+	core.CheckInvariants(true)
+	core.Run(traceFrom(t, cpu), ^uint64(0))
+	if core.Stats().Insts < 25000 {
+		t.Fatalf("retired %d", core.Stats().Insts)
+	}
+}
+
+func mustProgram(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src + "\n\tli a7, 93\n\tecall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newCPUFor(t *testing.T, p *asm.Program) *sim.CPU {
+	t.Helper()
+	c := sim.New()
+	c.Load(p)
+	return c
+}

@@ -1,0 +1,67 @@
+package boom
+
+import "fmt"
+
+// CheckInvariants enables per-cycle structural checking: every queue must
+// respect its configured capacity, program order must be preserved in the
+// ROB and store queue, and in-flight register counts must stay within the
+// physical register files. It costs ~2× slowdown and is meant for tests.
+func (c *Core) CheckInvariants(on bool) { c.checkInv = on }
+
+func (c *Core) assertInvariants() {
+	fail := func(format string, args ...interface{}) {
+		panic("boom invariant: " + fmt.Sprintf(format, args...))
+	}
+	if len(c.fetchBuf) > c.cfg.FetchBufferEntries {
+		fail("fetch buffer %d > %d", len(c.fetchBuf), c.cfg.FetchBufferEntries)
+	}
+	if len(c.rob) > c.cfg.RobEntries {
+		fail("ROB %d > %d", len(c.rob), c.cfg.RobEntries)
+	}
+	if len(c.intQ) > c.cfg.IntIssueSlots {
+		fail("int IQ %d > %d", len(c.intQ), c.cfg.IntIssueSlots)
+	}
+	if len(c.memQ) > c.cfg.MemIssueSlots {
+		fail("mem IQ %d > %d", len(c.memQ), c.cfg.MemIssueSlots)
+	}
+	if len(c.fpQ) > c.cfg.FpIssueSlots {
+		fail("fp IQ %d > %d", len(c.fpQ), c.cfg.FpIssueSlots)
+	}
+	if len(c.stq) > c.cfg.StqEntries {
+		fail("STQ %d > %d", len(c.stq), c.cfg.StqEntries)
+	}
+	if c.ldqUsed < 0 || c.ldqUsed > c.cfg.LdqEntries {
+		fail("LDQ %d of %d", c.ldqUsed, c.cfg.LdqEntries)
+	}
+	if c.intInFlight < 0 || c.intInFlight > c.cfg.IntPhysRegs-32 {
+		fail("int in-flight writers %d of %d", c.intInFlight, c.cfg.IntPhysRegs-32)
+	}
+	if c.fpInFlight < 0 || c.fpInFlight > c.cfg.FpPhysRegs-32 {
+		fail("fp in-flight writers %d of %d", c.fpInFlight, c.cfg.FpPhysRegs-32)
+	}
+	if c.mshrsBusy < 0 || c.mshrsBusy > c.cfg.DCacheMSHRs {
+		fail("MSHRs busy %d of %d", c.mshrsBusy, c.cfg.DCacheMSHRs)
+	}
+	if c.wrongInt < 0 || len(c.intQ)+c.wrongInt > c.cfg.IntIssueSlots {
+		fail("wrong-path int overflow: %d+%d > %d", len(c.intQ), c.wrongInt, c.cfg.IntIssueSlots)
+	}
+	// Program order: ROB and STQ sequence numbers strictly increase.
+	for i := 1; i < len(c.rob); i++ {
+		if c.rob[i].seq <= c.rob[i-1].seq {
+			fail("ROB order violated at %d", i)
+		}
+	}
+	for i := 1; i < len(c.stq); i++ {
+		if c.stq[i].seq <= c.stq[i-1].seq {
+			fail("STQ order violated at %d", i)
+		}
+	}
+	// Issue queues hold only un-issued uops; completed uops must be gone.
+	for _, q := range [][]*uop{c.intQ, c.memQ, c.fpQ} {
+		for _, u := range q {
+			if u.state != stWaiting {
+				fail("issued uop still queued: seq %d state %d", u.seq, u.state)
+			}
+		}
+	}
+}

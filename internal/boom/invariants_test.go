@@ -1,0 +1,55 @@
+package boom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestInvariantsHoldAcrossSuite runs every workload on every configuration
+// with per-cycle structural checking enabled.
+func TestInvariantsHoldAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invariant sweep is slow")
+	}
+	for _, cfg := range Configs() {
+		for _, name := range workloads.Names() {
+			w, err := workloads.Build(name, workloads.ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := w.NewCPU()
+			if err != nil {
+				t.Fatal(err)
+			}
+			core := New(cfg)
+			core.CheckInvariants(true)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s on %s: %v", name, cfg.Name, r)
+					}
+				}()
+				core.Run(traceFrom(t, cpu), math.MaxUint64)
+			}()
+			if core.Stats().Insts == 0 {
+				t.Fatalf("%s on %s retired nothing", name, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestInvariantsWithGShare covers the ablation path too.
+func TestInvariantsWithGShare(t *testing.T) {
+	cfg := MediumBOOM()
+	cfg.Predictor = PredictorGShare
+	w, err := workloads.Build("tarfind", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := w.NewCPU()
+	core := New(cfg)
+	core.CheckInvariants(true)
+	core.Run(traceFrom(t, cpu), math.MaxUint64)
+}

@@ -1,0 +1,201 @@
+package boom
+
+import "fmt"
+
+// Component identifies one of the 13 hardware structures the paper analyzes
+// (Figs. 5–7) plus the "Other" bucket (execution units, decode, FTQ, …)
+// that makes up the rest of the BOOM tile (Fig. 9).
+type Component int
+
+// Components in the paper's naming.
+const (
+	CompBranchPredictor Component = iota
+	CompFetchBuffer
+	CompICache
+	CompIntRename
+	CompFpRename
+	CompRob
+	CompIntIssue
+	CompMemIssue
+	CompFpIssue
+	CompIntRF
+	CompFpRF
+	CompLSU
+	CompDCache
+	CompOther
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"BranchPredictor", "FetchBuffer", "L1-ICache", "IntRename", "FPRename",
+	"ROB", "IntIssue", "MemIssue", "FPIssue", "IntRegFile", "FPRegFile",
+	"LSU", "L1-DCache", "Other",
+}
+
+func (c Component) String() string {
+	if c >= 0 && c < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("component(%d)", int(c))
+}
+
+// AnalyzedComponents lists the 13 paper components (everything but Other).
+func AnalyzedComponents() []Component {
+	out := make([]Component, 0, NumComponents-1)
+	for c := Component(0); c < NumComponents; c++ {
+		if c != CompOther {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Activity is the per-component event record a run produces — the
+// architectural aggregation of the signal toggles an RTL trace would carry.
+type Activity struct {
+	Reads       uint64 // port read accesses
+	Writes      uint64 // port write accesses
+	CAMSearches uint64 // per-entry match/wakeup comparisons
+	Shifts      uint64 // collapsing-queue entry movements
+	Occupancy   uint64 // Σ occupied entries over cycles (divide by Cycles)
+}
+
+// Add accumulates other into a.
+func (a *Activity) Add(other Activity) {
+	a.Reads += other.Reads
+	a.Writes += other.Writes
+	a.CAMSearches += other.CAMSearches
+	a.Shifts += other.Shifts
+	a.Occupancy += other.Occupancy
+}
+
+// Scale multiplies every counter by w (used for SimPoint-weighted merging).
+func (a *Activity) Scale(w float64) {
+	a.Reads = uint64(float64(a.Reads) * w)
+	a.Writes = uint64(float64(a.Writes) * w)
+	a.CAMSearches = uint64(float64(a.CAMSearches) * w)
+	a.Shifts = uint64(float64(a.Shifts) * w)
+	a.Occupancy = uint64(float64(a.Occupancy) * w)
+}
+
+// Stats is everything a timing run measures.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+
+	Branches     uint64
+	Mispredicts  uint64 // direction or target mispredictions resolved at execute
+	BTBMisses    uint64 // taken control flow without a BTB target (front-end bubble)
+	Loads        uint64
+	Stores       uint64
+	DCacheHits   uint64
+	DCacheMisses uint64
+	ICacheHits   uint64
+	ICacheMisses uint64
+	L2Hits       uint64
+	L2Misses     uint64
+	StoreForward uint64 // loads satisfied by store-to-load forwarding
+
+	Comp [NumComponents]Activity
+
+	// ExecOps counts executed operations per rv64.Class (indexed by the
+	// class value); the power model charges execution-unit energy from it.
+	ExecOps [16]uint64
+
+	// IntIssueSlotCycles[i] counts cycles in which integer issue slot i held
+	// a valid entry — the per-slot activity behind the paper's Fig. 8.
+	IntIssueSlotCycles []uint64
+}
+
+// NewStats returns a Stats sized for cfg.
+func NewStats(cfg *Config) *Stats {
+	return &Stats{IntIssueSlotCycles: make([]uint64, cfg.IntIssueSlots)}
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Add accumulates other into s (slot arrays must match in length).
+func (s *Stats) Add(other *Stats) {
+	s.Cycles += other.Cycles
+	s.Insts += other.Insts
+	s.Branches += other.Branches
+	s.Mispredicts += other.Mispredicts
+	s.BTBMisses += other.BTBMisses
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.DCacheHits += other.DCacheHits
+	s.DCacheMisses += other.DCacheMisses
+	s.ICacheHits += other.ICacheHits
+	s.ICacheMisses += other.ICacheMisses
+	s.L2Hits += other.L2Hits
+	s.L2Misses += other.L2Misses
+	s.StoreForward += other.StoreForward
+	for c := range s.Comp {
+		s.Comp[c].Add(other.Comp[c])
+	}
+	for i := range s.ExecOps {
+		s.ExecOps[i] += other.ExecOps[i]
+	}
+	for i := range s.IntIssueSlotCycles {
+		if i < len(other.IntIssueSlotCycles) {
+			s.IntIssueSlotCycles[i] += other.IntIssueSlotCycles[i]
+		}
+	}
+}
+
+// ScaleWeighted multiplies all counters by w.
+func (s *Stats) ScaleWeighted(w float64) {
+	s.Cycles = uint64(float64(s.Cycles) * w)
+	s.Insts = uint64(float64(s.Insts) * w)
+	s.Branches = uint64(float64(s.Branches) * w)
+	s.Mispredicts = uint64(float64(s.Mispredicts) * w)
+	s.BTBMisses = uint64(float64(s.BTBMisses) * w)
+	s.Loads = uint64(float64(s.Loads) * w)
+	s.Stores = uint64(float64(s.Stores) * w)
+	s.DCacheHits = uint64(float64(s.DCacheHits) * w)
+	s.DCacheMisses = uint64(float64(s.DCacheMisses) * w)
+	s.ICacheHits = uint64(float64(s.ICacheHits) * w)
+	s.ICacheMisses = uint64(float64(s.ICacheMisses) * w)
+	s.L2Hits = uint64(float64(s.L2Hits) * w)
+	s.L2Misses = uint64(float64(s.L2Misses) * w)
+	s.StoreForward = uint64(float64(s.StoreForward) * w)
+	for c := range s.Comp {
+		s.Comp[c].Scale(w)
+	}
+	for i := range s.ExecOps {
+		s.ExecOps[i] = uint64(float64(s.ExecOps[i]) * w)
+	}
+	for i := range s.IntIssueSlotCycles {
+		s.IntIssueSlotCycles[i] = uint64(float64(s.IntIssueSlotCycles[i]) * w)
+	}
+}
+
+// ComponentPower is a plain per-component power vector in milliwatts, used
+// by estimators (like the pre-RTL baseline) that do not produce the full
+// leakage/internal/switching split.
+type ComponentPower struct {
+	MW [NumComponents]float64
+}
+
+// TotalMW sums all components.
+func (c *ComponentPower) TotalMW() float64 {
+	var t float64
+	for _, v := range c.MW {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+package boom
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rv64"
+)
+
+// SetPipeTrace streams a per-instruction pipeline lifecycle trace to w (one
+// line per retired uop: fetch/dispatch/issue/complete/retire cycles), up to
+// maxUops lines. It is the textual equivalent of a waveform/Konata view of
+// the Verilator run and is meant for debugging and teaching; it slows the
+// model down and should stay off in experiments. Pass nil to disable.
+func (c *Core) SetPipeTrace(w io.Writer, maxUops uint64) {
+	c.traceW = w
+	c.traceLeft = maxUops
+	if w != nil {
+		fmt.Fprintf(w, "%-6s %-10s %-28s %8s %8s %8s %8s %8s\n",
+			"seq", "pc", "instruction", "fetch", "disp", "issue", "done", "retire")
+	}
+}
+
+func (c *Core) traceFetch(u *uop) {
+	if c.traceW != nil {
+		u.fetchedAt = c.cycle
+	}
+}
+
+func (c *Core) traceDispatch(u *uop) {
+	if c.traceW != nil {
+		u.dispatchedAt = c.cycle
+	}
+}
+
+func (c *Core) traceIssue(u *uop) {
+	if c.traceW != nil {
+		u.issuedAt = c.cycle
+	}
+}
+
+func (c *Core) traceRetire(u *uop) {
+	if c.traceW == nil || c.traceLeft == 0 {
+		return
+	}
+	c.traceLeft--
+	dis := rv64.Disassemble(rv64.Inst{
+		Op: u.op, Rd: u.rd, Rs1: u.rs1, Rs2: u.rs2, Rs3: u.rs3, Imm: u.imm,
+	})
+	flags := ""
+	if u.mispred {
+		flags = " !mispredict"
+	}
+	fmt.Fprintf(c.traceW, "%-6d %-#10x %-28s %8d %8d %8d %8d %8d%s\n",
+		u.seq, u.pc, dis, u.fetchedAt, u.dispatchedAt, u.issuedAt, u.doneAt, c.cycle, flags)
+	if c.traceLeft == 0 {
+		fmt.Fprintln(c.traceW, "... pipeline trace limit reached")
+	}
+}

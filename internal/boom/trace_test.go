@@ -1,0 +1,56 @@
+package boom
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPipeTrace(t *testing.T) {
+	src := `
+	.text
+	li   t0, 5
+loop:
+	addi t1, t1, 1
+	addi t0, t0, -1
+	bnez t0, loop
+`
+	p := mustProgram(t, src)
+	cpu := newCPUFor(t, p)
+	core := New(MediumBOOM())
+	var buf bytes.Buffer
+	core.SetPipeTrace(&buf, 10)
+	core.Run(traceFrom(t, cpu), ^uint64(0))
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 10 uops + limit marker.
+	if len(lines) != 12 {
+		t.Fatalf("got %d trace lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "retire") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(out, "addi") || !strings.Contains(out, "bne") {
+		t.Errorf("trace missing instructions:\n%s", out)
+	}
+	if !strings.Contains(lines[11], "limit reached") {
+		t.Errorf("missing limit marker: %q", lines[11])
+	}
+	// Lifecycle ordering on a data row: fetch ≤ dispatch ≤ issue < done ≤
+	// retire. The cycle columns are the last five fields.
+	fields := strings.Fields(lines[2])
+	if len(fields) < 5 {
+		t.Fatalf("short trace row %q", lines[2])
+	}
+	var cyc [5]uint64
+	for j := 0; j < 5; j++ {
+		if _, err := fmt.Sscan(fields[len(fields)-5+j], &cyc[j]); err != nil {
+			t.Fatalf("parse %q: %v", lines[2], err)
+		}
+	}
+	f, d, i, done, r := cyc[0], cyc[1], cyc[2], cyc[3], cyc[4]
+	if !(f <= d && d <= i && i < done && done <= r) {
+		t.Errorf("lifecycle out of order: F%d D%d I%d C%d R%d", f, d, i, done, r)
+	}
+}

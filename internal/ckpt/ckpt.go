@@ -1,0 +1,132 @@
+// Package ckpt implements architectural checkpoints: a serializable snapshot
+// of the CPU's architectural state (PC, integer/FP registers, retired
+// instruction count) plus the touched memory pages. It plays the role of the
+// Spike-generated checkpoints that Chipyard's checkpointing infrastructure
+// loads into the RTL simulator in the paper's flow (Fig. 4).
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// magic identifies the serialized format (and its version).
+const magic = 0x52565043_4B505431 // "RVPCKPT1"
+
+// Checkpoint is one architectural checkpoint. Weight and interval metadata
+// from the SimPoint selection ride along so a checkpoint is self-describing.
+type Checkpoint struct {
+	PC      uint64
+	X       [32]uint64
+	F       [32]uint64
+	InstRet uint64 // instructions retired before this point
+	Mem     *mem.Memory
+
+	// SimPoint metadata
+	Interval int64   // interval index this checkpoint starts
+	Weight   float64 // fraction of program execution it represents
+}
+
+// Capture snapshots the CPU. The memory image is deep-copied so the CPU can
+// keep running.
+func Capture(c *sim.CPU) *Checkpoint {
+	return &Checkpoint{
+		PC:      c.PC,
+		X:       c.X,
+		F:       c.F,
+		InstRet: c.InstRet,
+		Mem:     c.Mem.Clone(),
+	}
+}
+
+// Restore loads the checkpoint into the CPU. The checkpoint's memory is
+// cloned, so one checkpoint can seed many runs.
+func (k *Checkpoint) Restore(c *sim.CPU) {
+	c.PC = k.PC
+	c.X = k.X
+	c.F = k.F
+	c.InstRet = k.InstRet
+	c.Halted = false
+	c.Mem = k.Mem.Clone()
+}
+
+// Serialize writes the checkpoint to w.
+func (k *Checkpoint) Serialize(w io.Writer) error {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var b8 [8]byte
+	put := func(v uint64) {
+		le.PutUint64(b8[:], v)
+		buf.Write(b8[:])
+	}
+	put(magic)
+	put(k.PC)
+	for _, v := range k.X {
+		put(v)
+	}
+	for _, v := range k.F {
+		put(v)
+	}
+	put(k.InstRet)
+	put(uint64(k.Interval))
+	put(math.Float64bits(k.Weight))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return k.Mem.Serialize(w)
+}
+
+// Deserialize reads a checkpoint in the format produced by Serialize.
+func Deserialize(r io.Reader) (*Checkpoint, error) {
+	var b8 [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b8[:]), nil
+	}
+	m, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %#x", m)
+	}
+	k := &Checkpoint{Mem: mem.New()}
+	if k.PC, err = get(); err != nil {
+		return nil, err
+	}
+	for i := range k.X {
+		if k.X[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range k.F {
+		if k.F[i], err = get(); err != nil {
+			return nil, err
+		}
+	}
+	if k.InstRet, err = get(); err != nil {
+		return nil, err
+	}
+	iv, err := get()
+	if err != nil {
+		return nil, err
+	}
+	k.Interval = int64(iv)
+	wBits, err := get()
+	if err != nil {
+		return nil, err
+	}
+	k.Weight = math.Float64frombits(wBits)
+	if err := k.Mem.Deserialize(r); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

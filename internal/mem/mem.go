@@ -1,0 +1,212 @@
+// Package mem provides the sparse 64-bit physical memory shared by the
+// functional simulator, the checkpoint machinery and the workload loaders.
+// Memory is allocated lazily in fixed-size pages so that multi-gigabyte
+// address spaces with a few megabytes of live data stay cheap, and so that
+// checkpoints serialize only the touched pages.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PageBits is the log2 of the page size. 4 KiB pages match what the
+// checkpointing flow in the paper's Chipyard setup serializes.
+const PageBits = 12
+
+// PageSize is the byte size of one lazily allocated page.
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+// Memory is a sparse byte-addressable memory. The zero value is not usable;
+// call New.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	key := addr >> PageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr (0 for untouched memory).
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores one byte at addr.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian unsigned
+// value. size must be 1, 2, 4 or 8. Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	// Fast path: access within one page.
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read64 is shorthand for an 8-byte read.
+func (m *Memory) Read64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// Write64 is shorthand for an 8-byte write.
+func (m *Memory) Write64(addr uint64, v uint64) { m.Write(addr, 8, v) }
+
+// Read32 is shorthand for a 4-byte read (instruction fetch).
+func (m *Memory) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// SetBytes copies b into memory starting at addr.
+func (m *Memory) SetBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		off := addr & pageMask
+		n := PageSize - off
+		if uint64(len(b)) < n {
+			n = uint64(len(b))
+		}
+		copy(m.page(addr, true)[off:off+n], b[:n])
+		addr += n
+		b = b[n:]
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// PageCount reports how many pages have been touched.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Footprint reports the number of bytes of allocated backing store.
+func (m *Memory) Footprint() int64 { return int64(len(m.pages)) * PageSize }
+
+// Clone returns a deep copy, used to fork a pristine workload image for
+// multiple simulations.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		np := new([PageSize]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}
+
+// Serialize writes the touched pages to w in a deterministic order. The
+// format is: uint64 page count, then per page a uint64 page index followed
+// by PageSize raw bytes.
+func (m *Memory) Serialize(w io.Writer) error {
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(keys)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(hdr[:], k)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(m.pages[k][:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize replaces the contents of m with pages read from r, in the
+// format produced by Serialize.
+func (m *Memory) Deserialize(r io.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("mem: reading page count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > 1<<24 {
+		return fmt.Errorf("mem: unreasonable page count %d", n)
+	}
+	m.pages = make(map[uint64]*[PageSize]byte, n)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return fmt.Errorf("mem: reading page %d index: %w", i, err)
+		}
+		key := binary.LittleEndian.Uint64(hdr[:])
+		p := new([PageSize]byte)
+		if _, err := io.ReadFull(r, p[:]); err != nil {
+			return fmt.Errorf("mem: reading page %d data: %w", i, err)
+		}
+		m.pages[key] = p
+	}
+	return nil
+}

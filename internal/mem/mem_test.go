@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	m.Write(0x1000, 8, 0x1122334455667788)
+	if got := m.Read(0x1000, 8); got != 0x1122334455667788 {
+		t.Fatalf("read64: %#x", got)
+	}
+	if got := m.Read(0x1000, 4); got != 0x55667788 {
+		t.Fatalf("read32: %#x", got)
+	}
+	if got := m.Read(0x1004, 4); got != 0x11223344 {
+		t.Fatalf("read32 hi: %#x", got)
+	}
+	if got := m.Read(0x1000, 2); got != 0x7788 {
+		t.Fatalf("read16: %#x", got)
+	}
+	if got := m.Read(0x1007, 1); got != 0x11 {
+		t.Fatalf("read8: %#x", got)
+	}
+}
+
+func TestUntouchedMemoryReadsZero(t *testing.T) {
+	m := New()
+	if m.Read(0xDEADBEEF000, 8) != 0 {
+		t.Fatal("untouched memory should be zero")
+	}
+	if m.PageCount() != 0 {
+		t.Fatal("reads must not allocate pages")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(2*PageSize - 3) // straddles a page boundary
+	m.Write(addr, 8, 0xA1B2C3D4E5F60718)
+	if got := m.Read(addr, 8); got != 0xA1B2C3D4E5F60718 {
+		t.Fatalf("cross-page read: %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("expected 2 pages, got %d", m.PageCount())
+	}
+}
+
+func TestSetBytesAndReadBytes(t *testing.T) {
+	m := New()
+	data := make([]byte, 3*PageSize+17)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(data)
+	base := uint64(0x80001234)
+	m.SetBytes(base, data)
+	if got := m.ReadBytes(base, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("SetBytes/ReadBytes mismatch")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Write64(0x100, 42)
+	c := m.Clone()
+	c.Write64(0x100, 99)
+	if m.Read64(0x100) != 42 {
+		t.Fatal("clone mutated the original")
+	}
+	if c.Read64(0x100) != 99 {
+		t.Fatal("clone lost its own write")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]uint64, 200)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Int63n(1 << 40))
+		m.Write64(addrs[i], rng.Uint64())
+	}
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New()
+	if err := m2.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if m.Read64(a) != m2.Read64(a) {
+			t.Fatalf("mismatch at %#x", a)
+		}
+	}
+	if m.PageCount() != m2.PageCount() {
+		t.Fatalf("page counts differ: %d vs %d", m.PageCount(), m2.PageCount())
+	}
+}
+
+func TestDeserializeRejectsTruncated(t *testing.T) {
+	m := New()
+	m.Write64(0, 1)
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if err := New().Deserialize(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+}
+
+// Property: a write of any width followed by a read of the same width at the
+// same address returns the written value masked to that width.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(addr uint64, v uint64, sizeSel uint8) bool {
+		m := New()
+		size := 1 << (sizeSel % 4) // 1,2,4,8
+		addr &= (1 << 44) - 1
+		m.Write(addr, size, v)
+		want := v
+		if size < 8 {
+			want &= 1<<(8*size) - 1
+		}
+		return m.Read(addr, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: non-overlapping byte writes do not interfere.
+func TestDisjointWritesProperty(t *testing.T) {
+	f := func(a, b uint64, va, vb byte) bool {
+		a &= (1 << 40) - 1
+		b &= (1 << 40) - 1
+		if a == b {
+			return true
+		}
+		m := New()
+		m.SetByte(a, va)
+		m.SetByte(b, vb)
+		return m.ByteAt(a) == va && m.ByteAt(b) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

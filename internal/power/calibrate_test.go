@@ -1,0 +1,121 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// paperMW is the per-component average power (mW) the paper reports across
+// its eleven workloads for Medium/Large/MegaBOOM (Figs. 5–7 and §IV-B).
+var paperMW = map[boom.Component][3]float64{
+	boom.CompBranchPredictor: {3.34, 7.00, 7.60},
+	boom.CompIntRF:           {0.27, 0.72, 4.83},
+	boom.CompFpRF:            {0.05, 0.08, 1.18},
+	boom.CompIntRename:       {0.95, 1.57, 2.50},
+	boom.CompFpRename:        {0.60, 1.29, 2.16},
+	boom.CompIntIssue:        {0.83, 2.08, 4.40},
+	boom.CompMemIssue:        {0.26, 0.62, 1.30},
+	boom.CompFpIssue:         {0.17, 0.39, 0.74},
+	boom.CompRob:             {0.61, 1.08, 1.57},
+	boom.CompFetchBuffer:     {0.22, 0.31, 0.36},
+	boom.CompLSU:             {0.84, 1.30, 2.20},
+	boom.CompDCache:          {1.13, 2.24, 4.34},
+	boom.CompICache:          {0.36, 1.06, 1.06},
+}
+
+// paperShare is Fig. 9: the 13 components' share of total tile power.
+var paperShare = [3]float64{0.73, 0.81, 0.85}
+
+// sweepResult caches one full 11×3 sweep for all calibration tests.
+type sweepResult struct {
+	avg   [3]map[boom.Component]float64 // mean mW per component
+	total [3]float64                    // mean tile mW
+	per   [3]map[string]*Report         // per-workload reports
+	ipc   [3]map[string]float64
+}
+
+var (
+	sweepOnce sync.Once
+	sweep     *sweepResult
+	sweepErr  error
+)
+
+func runSweep(t *testing.T) *sweepResult {
+	t.Helper()
+	sweepOnce.Do(func() {
+		sweep, sweepErr = doSweep()
+	})
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+	return sweep
+}
+
+func doSweep() (*sweepResult, error) {
+	res := &sweepResult{}
+	lib := asap7.Default()
+	for ci, cfg := range boom.Configs() {
+		res.avg[ci] = map[boom.Component]float64{}
+		res.per[ci] = map[string]*Report{}
+		res.ipc[ci] = map[string]float64{}
+		est := NewEstimator(cfg, lib)
+		names := workloads.Names()
+		for _, name := range names {
+			w, err := workloads.Build(name, workloads.ScaleTiny)
+			if err != nil {
+				return nil, err
+			}
+			cpu, err := w.NewCPU()
+			if err != nil {
+				return nil, err
+			}
+			core := boom.New(cfg)
+			core.Run(func(r *sim.Retired) bool {
+				if cpu.Halted {
+					return false
+				}
+				if err := cpu.Step(r); err != nil {
+					panic(err)
+				}
+				return true
+			}, math.MaxUint64)
+			rep, err := est.Estimate(core.Stats())
+			if err != nil {
+				return nil, err
+			}
+			res.per[ci][name] = rep
+			res.ipc[ci][name] = core.Stats().IPC()
+			for comp := boom.Component(0); comp < boom.NumComponents; comp++ {
+				res.avg[ci][comp] += rep.Comp[comp].TotalMW() / float64(len(names))
+			}
+			res.total[ci] += rep.TotalMW() / float64(len(names))
+		}
+	}
+	return res, nil
+}
+
+// TestCalibrationReport prints model-vs-paper per component (run with -v).
+func TestCalibrationReport(t *testing.T) {
+	res := runSweep(t)
+	fmt.Printf("%-16s %23s %23s\n", "component", "model (Med/Lg/Mega)", "paper (Med/Lg/Mega)")
+	for _, comp := range boom.AnalyzedComponents() {
+		p := paperMW[comp]
+		fmt.Printf("%-16s %6.2f %6.2f %6.2f    %6.2f %6.2f %6.2f\n", comp,
+			res.avg[0][comp], res.avg[1][comp], res.avg[2][comp], p[0], p[1], p[2])
+	}
+	fmt.Printf("%-16s %6.2f %6.2f %6.2f    %6.2f %6.2f %6.2f\n", "Other",
+		res.avg[0][boom.CompOther], res.avg[1][boom.CompOther], res.avg[2][boom.CompOther],
+		res.total[0]*(1-paperShare[0]), res.total[1]*(1-paperShare[1]), res.total[2]*(1-paperShare[2]))
+	for ci := range res.total {
+		analyzed := res.total[ci] - res.avg[ci][boom.CompOther]
+		fmt.Printf("tile[%d]=%.2f mW analyzed=%.2f (share %.2f, paper %.2f)\n",
+			ci, res.total[ci], analyzed, analyzed/res.total[ci], paperShare[ci])
+	}
+}

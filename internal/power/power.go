@@ -1,0 +1,365 @@
+// Package power implements the RTL-style power-estimation flow that Cadence
+// Joules provides in the paper: a design-mapping step builds a cell-level
+// inventory (flip-flops, SRAM bits, CAM comparators, bypass fabric) for
+// every microarchitectural component from the BOOM configuration, and an
+// estimation step converts the timing model's activity counters — the
+// architectural aggregation of an RTL toggle trace — into leakage, internal
+// and switching power per component (§II-E of the paper).
+//
+// Coefficient provenance: the structural coefficients below were calibrated
+// ONCE against the per-component averages the paper reports for MediumBOOM,
+// LargeBOOM and MegaBOOM (Figs. 5–7; see calibrate_test.go for the targets
+// and the regression that guards the calibration). Only per-component
+// energy/area constants are fitted; cross-workload and cross-configuration
+// variation is never fitted — it emerges from measured activity and from
+// structure scaling (port counts, queue depths, cache geometry).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+)
+
+// Breakdown is the three-source power split of one component, in milliwatts
+// (§II-E: leakage, internal, switching).
+type Breakdown struct {
+	LeakageMW   float64
+	InternalMW  float64
+	SwitchingMW float64
+}
+
+// TotalMW returns the component total.
+func (b Breakdown) TotalMW() float64 { return b.LeakageMW + b.InternalMW + b.SwitchingMW }
+
+// Report is the per-component power of one run.
+type Report struct {
+	Comp [boom.NumComponents]Breakdown
+}
+
+// TotalMW returns full-tile power.
+func (r *Report) TotalMW() float64 {
+	var t float64
+	for _, b := range r.Comp {
+		t += b.TotalMW()
+	}
+	return t
+}
+
+// AnalyzedMW returns the sum over the paper's 13 components (tile minus
+// Other), the numerator of Fig. 9.
+func (r *Report) AnalyzedMW() float64 {
+	return r.TotalMW() - r.Comp[boom.CompOther].TotalMW()
+}
+
+// Estimator maps one BOOM design point onto the technology library. Create
+// it once per configuration (the "design mapping"/synthesis step of Fig. 1
+// in the paper), then Estimate any number of activity traces.
+type Estimator struct {
+	cfg boom.Config
+	lib asap7.Library
+	inv [boom.NumComponents]inventory
+}
+
+// inventory is the mapped cell content of one component plus its calibrated
+// per-event energies.
+type inventory struct {
+	flops    float64 // state flip-flops
+	sramBits float64
+	combGE   float64 // combinational gate-equivalents
+
+	staticMW float64 // calibrated fabric static+clock power (bypass etc.)
+
+	// Per-event energies in pJ.
+	readPJ  float64
+	writePJ float64
+	camPJ   float64 // per CAMSearches unit (one entry compare)
+	shiftPJ float64 // per Shifts unit
+	occPJ   float64 // clock/data energy per occupied entry per cycle
+
+	clkFrac float64 // fraction of flops clocked every cycle (ungated)
+}
+
+func (inv *inventory) leakMW(lib *asap7.Library) float64 {
+	return (inv.flops*lib.FlopLeakNW+inv.sramBits*lib.SRAMLeakNWBit+
+		inv.combGE*lib.CombLeakNWGE)*1e-6 + inv.staticMW
+}
+
+// Structural constants of the mapping (bits per entry etc.).
+const (
+	issueEntryBits = 76 // uop payload + two source tags + valid/ready
+	robEntryBits   = 46
+	fbEntryBits    = 52 // instruction word + predecode + PC fragment
+	ldqEntryBits   = 64
+	stqEntryBits   = 118 // address + data + state
+	btbEntryBits   = 68
+	tageEntryBits  = 13 // tag 10 + ctr 3 (useful bits in overhead)
+	renameMapBits  = 7
+	cacheTagBits   = 40
+)
+
+// Calibrated coefficients (see package comment). Units: pJ unless noted.
+const (
+	bpLookupPerSlotPJ = 0.245 // per fetch-width slot per predictor read
+	bpGShareFactor    = 1.35  // narrower read path, but un-banked table
+	bpUpdatePJ        = 3.2   // counter update + allocation traffic
+	fbWritePJ         = 0.28  // instruction insert
+	fbReadPJ          = 0.02  // mux readout
+	fbOccPJ           = 0.005 // clock per occupied entry
+	icWayEnergyCoef   = 19.0  // ways² term of a cache access (×SRAMReadPJBit)
+	icBaseEnergyCoef  = 176.0
+	dcWayEnergyCoef   = 42.8
+	dcBaseEnergyCoef  = 1421.0
+	dcPortFactor      = 0.9 // extra energy per additional memory unit
+	dcMSHROccPJ       = 3.0 // miss-handling machinery per busy MSHR cycle
+	renameReadPJ      = 0.10
+	intRenameShiftPJ  = 0.098 // per snapshot-copied free-list bit
+	fpRenameShiftPJ   = 0.088
+	robOccCoefPJ      = 0.0042 // ×sqrt(entries), per occupied entry cycle
+	robWritePJ        = 0.05
+	// Wakeup CAMs precharge the match line of every VALID entry every
+	// cycle, so scheduler power is occupancy-driven (the §IV-B mechanism
+	// behind Fig. 8); broadcasts and collapse moves add smaller per-event
+	// energies. Per-entry precharge energy grows with queue depth (wires).
+	iqIntOccBasePJ    = 0.155 // int queue, per valid entry per cycle at 20 slots
+	iqMemOccBasePJ    = 0.58  // wider entries (address + TLB tags)
+	iqFpOccBasePJ     = 0.42
+	iqBroadcastPJ     = 0.02     // per entry compare on a wakeup broadcast
+	iqShiftPJ         = 0.02     // collapse move, per entry
+	iqSizeExp         = 1.5      // match-line wire growth with queue depth
+	rfIntFabricMW     = 1.646e-4 // ×(R·W)^2.4 static bypass fabric
+	rfIntFabricExp    = 2.4
+	rfFpFabricMW      = 1.9e-4 // ×(R·W)^3.0
+	rfFpFabricExp     = 3.0
+	rfAccessPJ        = 0.05
+	lsuOccBasePJ      = 0.19 // ×(entries/32)^0.55
+	lsuCAMPJ          = 0.1
+	otherStaticBaseMW = 0.5
+	otherStaticPerWMW = 0.675 // per decode-width unit
+	otherDecodePJ     = 1.05  // per decoded instruction
+)
+
+// NewEstimator performs the design-mapping step for cfg.
+func NewEstimator(cfg boom.Config, lib asap7.Library) *Estimator {
+	e := &Estimator{cfg: cfg, lib: lib}
+	c := &cfg
+	set := func(comp boom.Component, inv inventory) { e.inv[comp] = inv }
+
+	// --- Branch predictor: direction tables + BTB + RAS ---
+	// The per-lookup energy is dominated by the superscalar read path: the
+	// tables are banked per fetch slot, so energy scales with fetch width.
+	perLookup := bpLookupPerSlotPJ * float64(c.FetchWidth)
+	var predBits float64
+	if c.Predictor == boom.PredictorTAGE {
+		predBits = float64(c.TageTables)*float64(c.TageEntries)*tageEntryBits + 2048*2
+	} else {
+		predBits = float64(c.GShareEntries) * 2
+		perLookup *= bpGShareFactor
+	}
+	set(boom.CompBranchPredictor, inventory{
+		flops:    float64(c.RASEntries) * 64,
+		sramBits: predBits + float64(c.BTBEntries)*btbEntryBits,
+		combGE:   900,
+		readPJ:   perLookup,
+		writePJ:  bpUpdatePJ,
+		clkFrac:  0.15,
+	})
+
+	// --- Fetch buffer ---
+	set(boom.CompFetchBuffer, inventory{
+		flops:   float64(c.FetchBufferEntries) * fbEntryBits,
+		combGE:  float64(c.FetchWidth) * 60,
+		readPJ:  fbReadPJ,
+		writePJ: fbWritePJ,
+		occPJ:   fbOccPJ,
+		clkFrac: 0.02,
+	})
+
+	// --- Caches ---
+	set(boom.CompICache, inventory{
+		sramBits: float64(c.ICacheKiB)*8192 + float64(c.ICacheKiB)*1024/float64(c.LineBytes)*cacheTagBits,
+		readPJ:   (float64(c.ICacheWays*c.ICacheWays)*icWayEnergyCoef + icBaseEnergyCoef) * lib.SRAMReadPJBit,
+		clkFrac:  0.01,
+	})
+	dcAccess := (float64(c.DCacheWays*c.DCacheWays)*dcWayEnergyCoef + dcBaseEnergyCoef) *
+		lib.SRAMReadPJBit * (1 + dcPortFactor*float64(c.MemIssueWidth-1))
+	set(boom.CompDCache, inventory{
+		flops:    float64(c.DCacheMSHRs) * 260,
+		sramBits: float64(c.DCacheKiB)*8192 + float64(c.DCacheKiB)*1024/float64(c.LineBytes)*cacheTagBits,
+		combGE:   float64(c.MemIssueWidth) * 700,
+		readPJ:   dcAccess,
+		writePJ:  dcAccess * 1.3,
+		occPJ:    dcMSHROccPJ,
+		clkFrac:  0.01,
+	})
+
+	// --- Rename units ---
+	// The dominant cost is the per-branch snapshot copy of the allocation
+	// list (Key Takeaway #3); Shifts count the copied bits.
+	renameInv := func(shiftPJ float64, physRegs int) inventory {
+		return inventory{
+			flops:   32*renameMapBits + float64(physRegs)*13,
+			combGE:  float64(c.DecodeWidth) * 220,
+			readPJ:  renameReadPJ,
+			writePJ: renameReadPJ,
+			shiftPJ: shiftPJ,
+			clkFrac: 0.02,
+		}
+	}
+	set(boom.CompIntRename, renameInv(intRenameShiftPJ, c.IntPhysRegs))
+	set(boom.CompFpRename, renameInv(fpRenameShiftPJ, c.FpPhysRegs))
+
+	// --- ROB ---
+	// Row energy grows with array size (banked bitlines ⇒ √entries).
+	set(boom.CompRob, inventory{
+		flops:   float64(c.RobEntries) * robEntryBits,
+		combGE:  float64(c.RetireWidth) * 180,
+		writePJ: robWritePJ,
+		occPJ:   robOccCoefPJ * math.Sqrt(float64(c.RobEntries)),
+		clkFrac: 0.005,
+	})
+
+	// --- Distributed scheduler queues (collapsing) ---
+	// Per-valid-entry match-line precharge dominates; energy per entry
+	// grows with (slots/20)^iqSizeExp (Key Takeaways #4/#5).
+	szf := func(slots int) float64 { return math.Pow(float64(slots)/20.0, iqSizeExp) }
+	iqInv := func(slots, width int, occBase float64) inventory {
+		return inventory{
+			flops:   float64(slots) * issueEntryBits,
+			combGE:  float64(width*slots) * 9,
+			occPJ:   occBase * szf(slots),
+			camPJ:   iqBroadcastPJ,
+			shiftPJ: iqShiftPJ,
+			clkFrac: 0.01,
+		}
+	}
+	set(boom.CompIntIssue, iqInv(c.IntIssueSlots, c.IntIssueWidth, iqIntOccBasePJ))
+	set(boom.CompMemIssue, iqInv(c.MemIssueSlots, c.MemIssueWidth, iqMemOccBasePJ))
+	set(boom.CompFpIssue, iqInv(c.FpIssueSlots, c.FpIssueWidth, iqFpOccBasePJ))
+
+	// --- Register files with bypass networks ---
+	// Fabric static power grows super-linearly with port product — the
+	// non-linearity Key Takeaways #1/#2 attribute the Mega RF power to.
+	rfInv := func(regs, r, w int, fabricMW, exp float64) inventory {
+		return inventory{
+			flops:    float64(regs) * 64,
+			staticMW: fabricMW * math.Pow(float64(r*w), exp),
+			readPJ:   rfAccessPJ,
+			writePJ:  rfAccessPJ,
+			clkFrac:  0.001,
+		}
+	}
+	set(boom.CompIntRF, rfInv(c.IntPhysRegs, c.IntRFReadPorts, c.IntRFWritePorts, rfIntFabricMW, rfIntFabricExp))
+	set(boom.CompFpRF, rfInv(c.FpPhysRegs, c.FpRFReadPorts, c.FpRFWritePorts, rfFpFabricMW, rfFpFabricExp))
+
+	// --- LSU (LDQ + STQ + disambiguation CAMs) ---
+	lsuEntries := float64(c.LdqEntries + c.StqEntries)
+	set(boom.CompLSU, inventory{
+		flops:   float64(c.LdqEntries)*ldqEntryBits + float64(c.StqEntries)*stqEntryBits,
+		combGE:  float64(c.MemIssueWidth) * 500,
+		camPJ:   lsuCAMPJ,
+		occPJ:   lsuOccBasePJ * math.Pow(lsuEntries/32.0, 0.75),
+		clkFrac: 0.01,
+	})
+
+	// --- Other: decode, execution units, FTQ, PC logic, CSR, ... ---
+	set(boom.CompOther, inventory{
+		flops:    float64(c.DecodeWidth)*900 + 2600,
+		combGE:   float64(c.DecodeWidth)*4200 + 9000,
+		staticMW: otherStaticBaseMW + otherStaticPerWMW*float64(c.DecodeWidth),
+		readPJ:   otherDecodePJ, // charged per decoded instruction
+		clkFrac:  0.0,
+	})
+
+	return e
+}
+
+// Config returns the mapped configuration.
+func (e *Estimator) Config() boom.Config { return e.cfg }
+
+// Library returns the technology library in use.
+func (e *Estimator) Library() asap7.Library { return e.lib }
+
+// Estimate converts a run's activity into per-component power. stats.Cycles
+// must be non-zero.
+func (e *Estimator) Estimate(stats *boom.Stats) (*Report, error) {
+	if stats.Cycles == 0 {
+		return nil, fmt.Errorf("power: zero-cycle stats")
+	}
+	cyc := float64(stats.Cycles)
+	toMW := e.lib.MWPerPJPerCycle()
+	rep := &Report{}
+	for comp := boom.Component(0); comp < boom.NumComponents; comp++ {
+		inv := &e.inv[comp]
+		a := &stats.Comp[comp]
+		var b Breakdown
+		b.LeakageMW = inv.leakMW(&e.lib)
+		// Internal: ungated clock load + per-occupied-entry clock + cell-
+		// internal read/write energy.
+		clockPJ := inv.flops*inv.clkFrac*e.lib.FlopClockPJ +
+			float64(a.Occupancy)/cyc*inv.occPJ
+		evInternal := (float64(a.Reads)*inv.readPJ + float64(a.Writes)*inv.writePJ) / cyc
+		// Switching: net toggles (CAM match lines, collapse moves).
+		evSwitching := (float64(a.CAMSearches)*inv.camPJ + float64(a.Shifts)*inv.shiftPJ) / cyc
+		b.InternalMW = (clockPJ + evInternal) * toMW
+		b.SwitchingMW = evSwitching * toMW
+		if comp == boom.CompOther {
+			b.SwitchingMW += e.execPJPerCycle(stats) * toMW
+		}
+		rep.Comp[comp] = b
+	}
+	return rep, nil
+}
+
+// execPJPerCycle charges execution-unit energy (part of Other) from the
+// per-class operation counts.
+func (e *Estimator) execPJPerCycle(stats *boom.Stats) float64 {
+	cyc := float64(stats.Cycles)
+	var pj float64
+	for class, n := range stats.ExecOps {
+		if n == 0 {
+			continue
+		}
+		var per float64
+		switch class {
+		case 0, 5, 6, 7: // ALU, branches, jumps
+			per = e.lib.ALUOpPJ
+		case 1: // mul
+			per = e.lib.MulOpPJ
+		case 2: // div
+			per = e.lib.DivOpPJ
+		case 3, 4: // loads/stores: AGU
+			per = e.lib.AGUOpPJ
+		case 8, 9, 10: // FP
+			per = e.lib.FPOpPJ
+		default:
+			per = e.lib.ALUOpPJ
+		}
+		pj += float64(n) * per
+	}
+	return pj / cyc
+}
+
+// SlotPower returns the per-slot power of the integer issue queue (the
+// paper's Fig. 8): each slot burns leakage always, and clock, wakeup-CAM
+// and collapse energy in proportion to how often it holds a valid entry.
+func (e *Estimator) SlotPower(stats *boom.Stats) []float64 {
+	if stats.Cycles == 0 {
+		return nil
+	}
+	cyc := float64(stats.Cycles)
+	toMW := e.lib.MWPerPJPerCycle()
+	inv := &e.inv[boom.CompIntIssue]
+	slotLeak := issueEntryBits * e.lib.FlopLeakNW * 1e-6
+	broadcastRate := float64(stats.Comp[boom.CompIntIssue].CAMSearches) /
+		math.Max(1, float64(stats.Comp[boom.CompIntIssue].Occupancy))
+	out := make([]float64, len(stats.IntIssueSlotCycles))
+	for i, busy := range stats.IntIssueSlotCycles {
+		util := float64(busy) / cyc
+		pj := util * (inv.occPJ + broadcastRate*inv.camPJ + 0.5*inv.shiftPJ)
+		out[i] = slotLeak + pj*toMW
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package prertl implements a McPAT-style pre-RTL analytical power model —
+// the baseline abstraction level the paper positions its RTL flow against
+// (§II-A): fast, architecture-level, and markedly less accurate. McPAT
+// itself reports ~21 % average error across processor configurations; this
+// model reproduces that class of estimator so the repository can quantify
+// the accuracy gap that motivates the paper's RTL-level methodology.
+//
+// Unlike internal/power — which maps the configuration to a cell inventory
+// and consumes fine-grained structure activity (per-entry CAM compares,
+// collapse shifts, snapshot copies, per-slot occupancy) — this model sees
+// only architecture-level event rates (instructions, branches, cache
+// accesses/misses) and generic capacitance heuristics, exactly the
+// information a performance simulator like gem5 exposes to McPAT.
+package prertl
+
+import (
+	"fmt"
+
+	"repro/internal/boom"
+)
+
+// Estimate returns per-component power (mW) from architecture-level event
+// counts only. The heuristics follow McPAT's structure: per-access energies
+// proportional to storage size and port count, plus area-proportional
+// leakage — with NO calibration against measured RTL power.
+func Estimate(cfg boom.Config, st *boom.Stats) (*boom.ComponentPower, error) {
+	if st.Cycles == 0 {
+		return nil, fmt.Errorf("prertl: zero-cycle stats")
+	}
+	cyc := float64(st.Cycles)
+	insts := float64(st.Insts)
+	ipc := insts / cyc
+	toMW := 0.5 // pJ/cycle → mW at 500 MHz
+
+	out := &boom.ComponentPower{}
+	setP := func(c boom.Component, mw float64) { out.MW[c] = mw }
+
+	// Generic technology heuristics (per-event pJ, per-bit leakage nW).
+	const (
+		pjPerRegBit   = 0.004
+		pjPerSRAMKB   = 0.09
+		pjPerCAMEntry = 0.03
+		leakNWBit     = 0.9
+	)
+	leak := func(bits float64) float64 { return bits * leakNWBit * 1e-6 }
+
+	branches := float64(st.Branches) / cyc
+	loads := float64(st.Loads+st.DCacheHits+st.DCacheMisses) / cyc
+	stores := float64(st.Stores) / cyc
+
+	// Branch predictor: one lookup per cycle over total predictor storage.
+	predKB := float64(cfg.TageTables*cfg.TageEntries)*13/8192 + float64(cfg.BTBEntries)*68/8192
+	setP(boom.CompBranchPredictor,
+		(1.0*predKB*pjPerSRAMKB+branches*2)*toMW+leak(predKB*8192))
+
+	// Register files: reads/writes scale with IPC; energy with ports×bits.
+	rfEnergy := func(regs, r, w int, accessRate float64) float64 {
+		bits := float64(regs) * 64
+		perAccess := 64 * pjPerRegBit * float64(r+w) / 4
+		return accessRate*perAccess*toMW + leak(bits)
+	}
+	setP(boom.CompIntRF, rfEnergy(cfg.IntPhysRegs, cfg.IntRFReadPorts, cfg.IntRFWritePorts, 2.2*ipc))
+	setP(boom.CompFpRF, rfEnergy(cfg.FpPhysRegs, cfg.FpRFReadPorts, cfg.FpRFWritePorts, 0.3*ipc))
+
+	// Rename: map-table accesses per instruction.
+	setP(boom.CompIntRename, ipc*3*7*pjPerRegBit*8*toMW+leak(float64(cfg.IntPhysRegs)*8))
+	setP(boom.CompFpRename, 0.3*ipc*3*7*pjPerRegBit*8*toMW+leak(float64(cfg.FpPhysRegs)*8))
+
+	// Issue queues: CAM energy per dispatched instruction over all entries
+	// (McPAT models the wakeup CAM as a full-array search per issue).
+	iq := func(slots int, rate float64) float64 {
+		return rate*float64(slots)*pjPerCAMEntry*toMW + leak(float64(slots)*76)
+	}
+	setP(boom.CompIntIssue, iq(cfg.IntIssueSlots, 0.7*ipc))
+	setP(boom.CompMemIssue, iq(cfg.MemIssueSlots, loads+stores))
+	setP(boom.CompFpIssue, iq(cfg.FpIssueSlots, 0.2*ipc))
+
+	// ROB: width reads+writes per cycle.
+	setP(boom.CompRob, ipc*2*46*pjPerRegBit*toMW+leak(float64(cfg.RobEntries)*46))
+
+	// Fetch buffer.
+	setP(boom.CompFetchBuffer, ipc*52*pjPerRegBit*toMW+leak(float64(cfg.FetchBufferEntries)*52))
+
+	// LSU.
+	setP(boom.CompLSU, (loads+stores)*float64(cfg.LdqEntries+cfg.StqEntries)*pjPerCAMEntry*0.5*toMW+
+		leak(float64(cfg.LdqEntries)*64+float64(cfg.StqEntries)*118))
+
+	// Caches: per-access energy ∝ size, plus miss (fill) energy.
+	cache := func(kb int, accesses, misses float64) float64 {
+		return (accesses*float64(kb)*pjPerSRAMKB+misses*float64(kb)*pjPerSRAMKB*2)*toMW +
+			leak(float64(kb)*8192)
+	}
+	setP(boom.CompICache, cache(cfg.ICacheKiB, float64(st.ICacheHits+st.ICacheMisses)/cyc,
+		float64(st.ICacheMisses)/cyc))
+	setP(boom.CompDCache, cache(cfg.DCacheKiB, loads+stores, float64(st.DCacheMisses)/cyc))
+
+	// Other: decode + execution, a flat per-instruction energy.
+	setP(boom.CompOther, ipc*2.4*toMW+leak(30000))
+	return out, nil
+}

@@ -1,0 +1,379 @@
+// Package report renders the paper's tables and figures from sweep results:
+// aligned text tables for terminals and CSV for downstream plotting. Each
+// Table*/Fig* function regenerates the corresponding artifact of the
+// paper's evaluation section.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+)
+
+// Table is one renderable table/figure data set.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+	return sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// orderedWorkloads returns the sweep's workloads in Table II order.
+func orderedWorkloads(sw *core.Sweep) []string {
+	var names []string
+	for n := range sw.Profiles {
+		names = append(names, n)
+	}
+	order := map[string]int{}
+	for i, n := range []string{"basicmath", "stringsearch", "fft", "ifft",
+		"bitcount", "qsort", "dijkstra", "patricia", "matmult", "sha", "tarfind"} {
+		order[n] = i
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func configNames(sw *core.Sweep) []string {
+	var out []string
+	for _, c := range []string{"MediumBOOM", "LargeBOOM", "MegaBOOM"} {
+		if _, ok := sw.Results[c]; ok {
+			out = append(out, c)
+		}
+	}
+	for c := range sw.Results {
+		found := false
+		for _, k := range out {
+			if k == c {
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TableI renders the three BOOM design points.
+func TableI(configs []boom.Config) *Table {
+	t := &Table{
+		Title:   "Table I — BOOM configurations",
+		Headers: []string{"Parameter"},
+	}
+	for _, c := range configs {
+		t.Headers = append(t.Headers, c.Name)
+	}
+	row := func(name string, get func(boom.Config) string) {
+		r := []string{name}
+		for _, c := range configs {
+			r = append(r, get(c))
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	row("Fetch/decode width", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d", c.FetchWidth, c.DecodeWidth)
+	})
+	row("Fetch buffer entries", func(c boom.Config) string { return fmt.Sprint(c.FetchBufferEntries) })
+	row("ROB entries", func(c boom.Config) string { return fmt.Sprint(c.RobEntries) })
+	row("Int/FP physical registers", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d", c.IntPhysRegs, c.FpPhysRegs)
+	})
+	row("Int RF read/write ports", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d", c.IntRFReadPorts, c.IntRFWritePorts)
+	})
+	row("Issue slots (mem/int/FP)", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d/%d", c.MemIssueSlots, c.IntIssueSlots, c.FpIssueSlots)
+	})
+	row("Memory execution units", func(c boom.Config) string { return fmt.Sprint(c.MemIssueWidth) })
+	row("L1D (KiB/ways/MSHRs)", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d/%d", c.DCacheKiB, c.DCacheWays, c.DCacheMSHRs)
+	})
+	row("L1I (KiB/ways)", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d", c.ICacheKiB, c.ICacheWays)
+	})
+	row("BTB entries", func(c boom.Config) string { return fmt.Sprint(c.BTBEntries) })
+	row("TAGE tables × entries", func(c boom.Config) string {
+		return fmt.Sprintf("%d×%d", c.TageTables, c.TageEntries)
+	})
+	row("LDQ/STQ entries", func(c boom.Config) string {
+		return fmt.Sprintf("%d/%d", c.LdqEntries, c.StqEntries)
+	})
+	row("Clock (MHz)", func(c boom.Config) string { return fmt.Sprintf("%.0f", c.ClockMHz) })
+	return t
+}
+
+// TableII renders per-benchmark instructions, interval size and simpoint
+// counts.
+func TableII(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Table II — benchmark instructions, interval & #SimPoints (%s scale)", sw.Scale),
+		Headers: []string{"Benchmark", "Suite", "Interval", "#SimPoints", "Coverage", "Instructions"},
+	}
+	for _, name := range orderedWorkloads(sw) {
+		p := sw.Profiles[name]
+		t.Rows = append(t.Rows, []string{
+			name, p.Workload.Suite,
+			fmt.Sprint(p.Workload.IntervalSize),
+			fmt.Sprint(p.NumSimPoints()),
+			fmt.Sprintf("%.0f%%", 100*p.Selection.Coverage),
+			fmt.Sprint(p.TotalInsts),
+		})
+	}
+	return t
+}
+
+// FigComponentPower renders Figs. 5/6/7: per-component power (mW) for every
+// workload on one configuration.
+func FigComponentPower(sw *core.Sweep, configName string) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 5/6/7 — per-component power (mW), %s", configName),
+		Headers: []string{"Component"},
+	}
+	names := orderedWorkloads(sw)
+	t.Headers = append(t.Headers, names...)
+	t.Headers = append(t.Headers, "Mean")
+	for _, comp := range boom.AnalyzedComponents() {
+		row := []string{comp.String()}
+		var mean float64
+		for _, n := range names {
+			v := sw.Results[configName][n].Power.Comp[comp].TotalMW()
+			row = append(row, f2(v))
+			mean += v / float64(len(names))
+		}
+		row = append(row, f2(mean))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FigSlotPower renders Fig. 8: per-integer-issue-slot power for chosen
+// workloads on one configuration.
+func FigSlotPower(sw *core.Sweep, configName string, names ...string) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 8 — power per integer issue slot (mW), %s", configName),
+		Headers: []string{"Slot"},
+	}
+	t.Headers = append(t.Headers, names...)
+	slots := len(sw.Results[configName][names[0]].Slots)
+	for s := 0; s < slots; s++ {
+		row := []string{fmt.Sprint(s)}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.4f", sw.Results[configName][n].Slots[s]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FigContribution renders Fig. 9: the 13 analyzed components' share of
+// tile power per configuration.
+func FigContribution(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   "Fig. 9 — analyzed components' share of tile power",
+		Headers: []string{"Config", "Analyzed mW", "Tile mW", "Share"},
+	}
+	for _, cfg := range configNames(sw) {
+		var analyzed, total float64
+		names := orderedWorkloads(sw)
+		for _, n := range names {
+			r := sw.Results[cfg][n]
+			analyzed += r.Power.AnalyzedMW() / float64(len(names))
+			total += r.Power.TotalMW() / float64(len(names))
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg, f2(analyzed), f2(total), fmt.Sprintf("%.0f%%", 100*analyzed/total),
+		})
+	}
+	return t
+}
+
+// FigIPC renders Fig. 10: IPC per benchmark per configuration.
+func FigIPC(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   "Fig. 10 — IPC per benchmark",
+		Headers: []string{"Benchmark"},
+	}
+	cfgs := configNames(sw)
+	t.Headers = append(t.Headers, cfgs...)
+	for _, n := range orderedWorkloads(sw) {
+		row := []string{n}
+		for _, cfg := range cfgs {
+			row = append(row, f2(sw.Results[cfg][n].IPC()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// FigPerfPerWatt renders Fig. 11: IPC per watt per benchmark per config.
+func FigPerfPerWatt(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   "Fig. 11 — performance per watt (IPC/W)",
+		Headers: []string{"Benchmark"},
+	}
+	cfgs := configNames(sw)
+	t.Headers = append(t.Headers, cfgs...)
+	t.Headers = append(t.Headers, "Best")
+	for _, n := range orderedWorkloads(sw) {
+		row := []string{n}
+		best, bestV := "", 0.0
+		for _, cfg := range cfgs {
+			v := sw.Results[cfg][n].PerfPerWatt()
+			row = append(row, fmt.Sprintf("%.0f", v))
+			if v > bestV {
+				best, bestV = cfg, v
+			}
+		}
+		row = append(row, best)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SpeedupTable summarizes the SimPoint simulation-cost saving.
+func SpeedupTable(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   "SimPoint speedup — detailed-model instructions avoided",
+		Headers: []string{"Benchmark", "Full insts", "Simulated insts", "Reduction"},
+	}
+	var full, det uint64
+	for _, n := range orderedWorkloads(sw) {
+		var wf, wd uint64
+		for _, cfg := range configNames(sw) {
+			r := sw.Results[cfg][n]
+			wf += r.TotalInsts
+			wd += r.DetailedInsts
+		}
+		full += wf
+		det += wd
+		t.Rows = append(t.Rows, []string{
+			n, fmt.Sprint(wf), fmt.Sprint(wd), fmt.Sprintf("%.1f×", float64(wf)/float64(wd)),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"TOTAL", fmt.Sprint(full), fmt.Sprint(det), fmt.Sprintf("%.1f×", float64(full)/float64(det)),
+	})
+	return t
+}
+
+// PhaseProfile renders the per-simulation-point view of one workload on one
+// configuration: the phase-level IPC/power breakdown the SimPoint
+// methodology provides for free.
+func PhaseProfile(sw *core.Sweep, configName, workload string) *Table {
+	r := sw.Results[configName][workload]
+	t := &Table{
+		Title:   fmt.Sprintf("Phase profile — %s on %s (%d points, %.0f%% coverage)", workload, configName, r.NumPoints, 100*r.Coverage),
+		Headers: []string{"Point", "Interval", "Weight", "IPC", "Power mW"},
+	}
+	for i, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprint(p.Interval),
+			fmt.Sprintf("%.3f", p.Weight),
+			f2(p.IPC),
+			f2(p.PowerMW),
+		})
+	}
+	return t
+}
+
+// PowerSources renders the §II-E decomposition: tile power per configuration
+// split into leakage, internal and switching power (suite averages).
+func PowerSources(sw *core.Sweep) *Table {
+	t := &Table{
+		Title:   "Power by dissipation source (§II-E), suite averages",
+		Headers: []string{"Config", "Leakage mW", "Internal mW", "Switching mW", "Total mW"},
+	}
+	names := orderedWorkloads(sw)
+	for _, cfg := range configNames(sw) {
+		var leak, internal, switching float64
+		for _, n := range names {
+			for c := boom.Component(0); c < boom.NumComponents; c++ {
+				b := sw.Results[cfg][n].Power.Comp[c]
+				leak += b.LeakageMW / float64(len(names))
+				internal += b.InternalMW / float64(len(names))
+				switching += b.SwitchingMW / float64(len(names))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg, f2(leak), f2(internal), f2(switching), f2(leak + internal + switching),
+		})
+	}
+	return t
+}

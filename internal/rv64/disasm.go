@@ -1,0 +1,60 @@
+package rv64
+
+import "fmt"
+
+// Disassemble renders in as assembler syntax accepted by internal/asm, with
+// branch/jump targets shown as numeric offsets. It is the inverse of the
+// assembler for single instructions and is used for debugging, traces and
+// the encode/decode round-trip property tests.
+func Disassemble(in Inst) string {
+	name := in.Op.Name()
+	x := func(r uint8) string { return IntRegNames[r&31] }
+	f := func(r uint8) string { return FPRegNames[r&31] }
+	switch in.Op {
+	case LUI, AUIPC:
+		return fmt.Sprintf("%s %s, %d", name, x(in.Rd), in.Imm)
+	case JAL:
+		return fmt.Sprintf("%s %s, %d", name, x(in.Rd), in.Imm)
+	case JALR:
+		return fmt.Sprintf("%s %s, %d(%s)", name, x(in.Rd), in.Imm, x(in.Rs1))
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s %s, %s, %d", name, x(in.Rs1), x(in.Rs2), in.Imm)
+	case FENCE, ECALL, EBREAK:
+		return name
+	case FLD:
+		return fmt.Sprintf("%s %s, %d(%s)", name, f(in.Rd), in.Imm, x(in.Rs1))
+	case FSD:
+		return fmt.Sprintf("%s %s, %d(%s)", name, f(in.Rs2), in.Imm, x(in.Rs1))
+	}
+	if in.Op.Class() == ClassLoad {
+		return fmt.Sprintf("%s %s, %d(%s)", name, x(in.Rd), in.Imm, x(in.Rs1))
+	}
+	if in.Op.Class() == ClassStore {
+		return fmt.Sprintf("%s %s, %d(%s)", name, x(in.Rs2), in.Imm, x(in.Rs1))
+	}
+	reg := func(r uint8, fp bool) string {
+		if fp {
+			return f(r)
+		}
+		return x(r)
+	}
+	if in.Op.HasRs3() { // fused multiply-add family
+		return fmt.Sprintf("%s %s, %s, %s, %s", name,
+			reg(in.Rd, in.Op.FPRd()), reg(in.Rs1, in.Op.FPRs1()),
+			reg(in.Rs2, in.Op.FPRs2()), reg(in.Rs3, in.Op.FPRs3()))
+	}
+	if in.Op.HasRs2() { // R-format
+		return fmt.Sprintf("%s %s, %s, %s", name,
+			reg(in.Rd, in.Op.FPRd()), reg(in.Rs1, in.Op.FPRs1()), reg(in.Rs2, in.Op.FPRs2()))
+	}
+	if in.Op.HasRs1() && in.Op.HasRd() {
+		// I-format ALU / shifts / unary FP.
+		switch ops[in.Op].fmt {
+		case fmtI, fmtShift, fmtShiftW:
+			return fmt.Sprintf("%s %s, %s, %d", name, x(in.Rd), x(in.Rs1), in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s", name,
+			reg(in.Rd, in.Op.FPRd()), reg(in.Rs1, in.Op.FPRs1()))
+	}
+	return in.String()
+}

@@ -1,0 +1,94 @@
+package rv64
+
+import "fmt"
+
+// Encode packs in into its 32-bit machine form. It is the inverse of Decode
+// for every supported Op and is used by the assembler.
+func Encode(in Inst) (uint32, error) {
+	if in.Op == ILLEGAL || in.Op >= numOps {
+		return 0, fmt.Errorf("rv64: cannot encode %v", in.Op)
+	}
+	info := &ops[in.Op]
+	rd := uint32(in.Rd) & 31
+	rs1 := uint32(in.Rs1) & 31
+	rs2 := uint32(in.Rs2) & 31
+	rs3 := uint32(in.Rs3) & 31
+	switch info.fmt {
+	case fmtR:
+		if info.unaryFP {
+			rs2 = info.rs2Field
+		}
+		return info.opcode | rd<<7 | info.f3<<12 | rs1<<15 | rs2<<20 | info.f7<<25, nil
+	case fmtR4:
+		return info.opcode | rd<<7 | info.f3<<12 | rs1<<15 | rs2<<20 | (info.f7&3)<<25 | rs3<<27, nil
+	case fmtI:
+		if err := checkImm(in.Imm, 12, in.Op); err != nil {
+			return 0, err
+		}
+		imm := uint32(in.Imm) & 0xFFF
+		return info.opcode | rd<<7 | info.f3<<12 | rs1<<15 | imm<<20, nil
+	case fmtShift:
+		if in.Imm < 0 || in.Imm > 63 {
+			return 0, fmt.Errorf("rv64: %v shamt %d out of range", in.Op, in.Imm)
+		}
+		return info.opcode | rd<<7 | info.f3<<12 | rs1<<15 | uint32(in.Imm)<<20 | (info.f7>>1)<<26, nil
+	case fmtShiftW:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("rv64: %v shamt %d out of range", in.Op, in.Imm)
+		}
+		return info.opcode | rd<<7 | info.f3<<12 | rs1<<15 | uint32(in.Imm)<<20 | info.f7<<25, nil
+	case fmtS:
+		if err := checkImm(in.Imm, 12, in.Op); err != nil {
+			return 0, err
+		}
+		imm := uint32(in.Imm) & 0xFFF
+		return info.opcode | (imm&0x1F)<<7 | info.f3<<12 | rs1<<15 | rs2<<20 | (imm>>5)<<25, nil
+	case fmtB:
+		if in.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv64: %v branch offset %d not even", in.Op, in.Imm)
+		}
+		if err := checkImm(in.Imm, 13, in.Op); err != nil {
+			return 0, err
+		}
+		imm := uint32(in.Imm) & 0x1FFF
+		return info.opcode |
+			(imm>>11&1)<<7 | (imm>>1&0xF)<<8 |
+			info.f3<<12 | rs1<<15 | rs2<<20 |
+			(imm>>5&0x3F)<<25 | (imm>>12&1)<<31, nil
+	case fmtU:
+		if in.Imm < -(1<<19) || in.Imm >= 1<<20 {
+			return 0, fmt.Errorf("rv64: %v imm %d out of 20-bit range", in.Op, in.Imm)
+		}
+		return info.opcode | rd<<7 | (uint32(in.Imm)&0xFFFFF)<<12, nil
+	case fmtJ:
+		if in.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv64: %v jump offset %d not even", in.Op, in.Imm)
+		}
+		if err := checkImm(in.Imm, 21, in.Op); err != nil {
+			return 0, err
+		}
+		imm := uint32(in.Imm) & 0x1FFFFF
+		return info.opcode | rd<<7 |
+			(imm>>12&0xFF)<<12 | (imm>>11&1)<<20 |
+			(imm>>1&0x3FF)<<21 | (imm>>20&1)<<31, nil
+	case fmtNone:
+		switch in.Op {
+		case FENCE:
+			return 0x0FF0000F, nil
+		case ECALL:
+			return 0x00000073, nil
+		case EBREAK:
+			return 0x00100073, nil
+		}
+	}
+	return 0, fmt.Errorf("rv64: unhandled format for %v", in.Op)
+}
+
+func checkImm(imm int64, bits uint, op Op) error {
+	min := int64(-1) << (bits - 1)
+	max := int64(1)<<(bits-1) - 1
+	if imm < min || imm > max {
+		return fmt.Errorf("rv64: %v immediate %d out of %d-bit signed range", op, imm, bits)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package rv64
+
+// IntRegNames lists the ABI names of the 32 integer registers, indexed by
+// architectural register number.
+var IntRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// FPRegNames lists the ABI names of the 32 floating-point registers.
+var FPRegNames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// Commonly referenced ABI register numbers.
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegGP   = 3
+	RegA0   = 10
+	RegA1   = 11
+	RegA2   = 12
+	RegA7   = 17
+)
+
+var intRegLookup = buildRegLookup(IntRegNames[:], "x")
+var fpRegLookup = buildRegLookup(FPRegNames[:], "f")
+
+func buildRegLookup(names []string, prefix string) map[string]uint8 {
+	m := make(map[string]uint8, 2*len(names))
+	for i, n := range names {
+		m[n] = uint8(i)
+	}
+	for i := 0; i < len(names); i++ {
+		m[prefix+itoa(i)] = uint8(i)
+	}
+	return m
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// IntReg resolves an integer register name ("a0", "x10", "zero", also "fp"
+// as an alias for s0) to its number.
+func IntReg(name string) (uint8, bool) {
+	if name == "fp" {
+		return 8, true
+	}
+	r, ok := intRegLookup[name]
+	return r, ok
+}
+
+// FPReg resolves an FP register name ("fa0", "f10") to its number.
+func FPReg(name string) (uint8, bool) {
+	r, ok := fpRegLookup[name]
+	return r, ok
+}

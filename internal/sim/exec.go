@@ -1,0 +1,488 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rv64"
+)
+
+// exec executes one decoded instruction and returns the next PC, the branch
+// outcome and the effective memory address (when applicable).
+func (c *CPU) exec(in rv64.Inst) (next uint64, taken bool, memAddr uint64, err error) {
+	pc := c.PC
+	next = pc + 4
+	x := &c.X
+	rs1 := x[in.Rs1]
+	rs2 := x[in.Rs2]
+	wr := func(v uint64) {
+		if in.Rd != 0 {
+			x[in.Rd] = v
+		}
+	}
+	w32 := func(v int32) { wr(uint64(int64(v))) }
+
+	switch in.Op {
+	case rv64.LUI:
+		wr(uint64(in.Imm << 12))
+	case rv64.AUIPC:
+		wr(pc + uint64(in.Imm<<12))
+	case rv64.JAL:
+		wr(pc + 4)
+		next = pc + uint64(in.Imm)
+		taken = true
+	case rv64.JALR:
+		t := (rs1 + uint64(in.Imm)) &^ 1
+		wr(pc + 4)
+		next = t
+		taken = true
+	case rv64.BEQ:
+		taken = rs1 == rs2
+	case rv64.BNE:
+		taken = rs1 != rs2
+	case rv64.BLT:
+		taken = int64(rs1) < int64(rs2)
+	case rv64.BGE:
+		taken = int64(rs1) >= int64(rs2)
+	case rv64.BLTU:
+		taken = rs1 < rs2
+	case rv64.BGEU:
+		taken = rs1 >= rs2
+	case rv64.LB:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(uint64(int64(int8(c.Mem.Read(memAddr, 1)))))
+	case rv64.LH:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(uint64(int64(int16(c.Mem.Read(memAddr, 2)))))
+	case rv64.LW:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(uint64(int64(int32(c.Mem.Read(memAddr, 4)))))
+	case rv64.LD:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(c.Mem.Read(memAddr, 8))
+	case rv64.LBU:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(c.Mem.Read(memAddr, 1))
+	case rv64.LHU:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(c.Mem.Read(memAddr, 2))
+	case rv64.LWU:
+		memAddr = rs1 + uint64(in.Imm)
+		wr(c.Mem.Read(memAddr, 4))
+	case rv64.SB:
+		memAddr = rs1 + uint64(in.Imm)
+		c.Mem.Write(memAddr, 1, rs2)
+	case rv64.SH:
+		memAddr = rs1 + uint64(in.Imm)
+		c.Mem.Write(memAddr, 2, rs2)
+	case rv64.SW:
+		memAddr = rs1 + uint64(in.Imm)
+		c.Mem.Write(memAddr, 4, rs2)
+	case rv64.SD:
+		memAddr = rs1 + uint64(in.Imm)
+		c.Mem.Write(memAddr, 8, rs2)
+	case rv64.ADDI:
+		wr(rs1 + uint64(in.Imm))
+	case rv64.SLTI:
+		wr(b2u(int64(rs1) < in.Imm))
+	case rv64.SLTIU:
+		wr(b2u(rs1 < uint64(in.Imm)))
+	case rv64.XORI:
+		wr(rs1 ^ uint64(in.Imm))
+	case rv64.ORI:
+		wr(rs1 | uint64(in.Imm))
+	case rv64.ANDI:
+		wr(rs1 & uint64(in.Imm))
+	case rv64.SLLI:
+		wr(rs1 << uint(in.Imm))
+	case rv64.SRLI:
+		wr(rs1 >> uint(in.Imm))
+	case rv64.SRAI:
+		wr(uint64(int64(rs1) >> uint(in.Imm)))
+	case rv64.ADD:
+		wr(rs1 + rs2)
+	case rv64.SUB:
+		wr(rs1 - rs2)
+	case rv64.SLL:
+		wr(rs1 << (rs2 & 63))
+	case rv64.SLT:
+		wr(b2u(int64(rs1) < int64(rs2)))
+	case rv64.SLTU:
+		wr(b2u(rs1 < rs2))
+	case rv64.XOR:
+		wr(rs1 ^ rs2)
+	case rv64.SRL:
+		wr(rs1 >> (rs2 & 63))
+	case rv64.SRA:
+		wr(uint64(int64(rs1) >> (rs2 & 63)))
+	case rv64.OR:
+		wr(rs1 | rs2)
+	case rv64.AND:
+		wr(rs1 & rs2)
+	case rv64.ADDIW:
+		w32(int32(rs1) + int32(in.Imm))
+	case rv64.SLLIW:
+		w32(int32(rs1) << uint(in.Imm))
+	case rv64.SRLIW:
+		w32(int32(uint32(rs1) >> uint(in.Imm)))
+	case rv64.SRAIW:
+		w32(int32(rs1) >> uint(in.Imm))
+	case rv64.ADDW:
+		w32(int32(rs1) + int32(rs2))
+	case rv64.SUBW:
+		w32(int32(rs1) - int32(rs2))
+	case rv64.SLLW:
+		w32(int32(rs1) << (rs2 & 31))
+	case rv64.SRLW:
+		w32(int32(uint32(rs1) >> (rs2 & 31)))
+	case rv64.SRAW:
+		w32(int32(rs1) >> (rs2 & 31))
+	case rv64.FENCE:
+		// no-op in a single-hart functional model
+	case rv64.ECALL:
+		if err := c.syscall(); err != nil {
+			return next, false, 0, err
+		}
+	case rv64.EBREAK:
+		return next, false, 0, ErrBreakpoint
+
+	case rv64.MUL:
+		wr(rs1 * rs2)
+	case rv64.MULH:
+		wr(mulh(int64(rs1), int64(rs2)))
+	case rv64.MULHSU:
+		wr(mulhsu(int64(rs1), rs2))
+	case rv64.MULHU:
+		wr(mulhu(rs1, rs2))
+	case rv64.DIV:
+		wr(uint64(divS(int64(rs1), int64(rs2))))
+	case rv64.DIVU:
+		wr(divU(rs1, rs2))
+	case rv64.REM:
+		wr(uint64(remS(int64(rs1), int64(rs2))))
+	case rv64.REMU:
+		wr(remU(rs1, rs2))
+	case rv64.MULW:
+		w32(int32(rs1) * int32(rs2))
+	case rv64.DIVW:
+		w32(divS32(int32(rs1), int32(rs2)))
+	case rv64.DIVUW:
+		w32(int32(divU32(uint32(rs1), uint32(rs2))))
+	case rv64.REMW:
+		w32(remS32(int32(rs1), int32(rs2)))
+	case rv64.REMUW:
+		w32(int32(remU32(uint32(rs1), uint32(rs2))))
+
+	default:
+		return c.execFP(in, rs1, rs2)
+	}
+
+	if in.Op.Class() == rv64.ClassBranch {
+		if taken {
+			next = pc + uint64(in.Imm)
+		}
+	}
+	return next, taken, memAddr, nil
+}
+
+func (c *CPU) execFP(in rv64.Inst, rs1, rs2 uint64) (next uint64, taken bool, memAddr uint64, err error) {
+	next = c.PC + 4
+	f := &c.F
+	fd := func(i uint8) float64 { return math.Float64frombits(f[i]) }
+	wrf := func(v float64) { f[in.Rd] = math.Float64bits(v) }
+	wri := func(v uint64) {
+		if in.Rd != 0 {
+			c.X[in.Rd] = v
+		}
+	}
+	a, b := fd(in.Rs1), fd(in.Rs2)
+
+	switch in.Op {
+	case rv64.FLD:
+		memAddr = rs1 + uint64(in.Imm)
+		f[in.Rd] = c.Mem.Read(memAddr, 8)
+	case rv64.FSD:
+		memAddr = rs1 + uint64(in.Imm)
+		c.Mem.Write(memAddr, 8, f[in.Rs2])
+	case rv64.FADDD:
+		wrf(a + b)
+	case rv64.FSUBD:
+		wrf(a - b)
+	case rv64.FMULD:
+		wrf(a * b)
+	case rv64.FDIVD:
+		wrf(a / b)
+	case rv64.FSQRTD:
+		wrf(math.Sqrt(a))
+	case rv64.FSGNJD:
+		f[in.Rd] = f[in.Rs1]&^signBit | f[in.Rs2]&signBit
+	case rv64.FSGNJND:
+		f[in.Rd] = f[in.Rs1]&^signBit | ^f[in.Rs2]&signBit
+	case rv64.FSGNJXD:
+		f[in.Rd] = f[in.Rs1] ^ f[in.Rs2]&signBit
+	case rv64.FMIND:
+		wrf(fpMin(a, b))
+	case rv64.FMAXD:
+		wrf(fpMax(a, b))
+	case rv64.FCVTWD:
+		wri(uint64(int64(satConv32(a))))
+	case rv64.FCVTWUD:
+		wri(uint64(int64(int32(satConvU32(a))))) // sign-extended per spec
+	case rv64.FCVTDW:
+		wrf(float64(int32(rs1)))
+	case rv64.FCVTDWU:
+		wrf(float64(uint32(rs1)))
+	case rv64.FCVTLD:
+		wri(uint64(satConv64(a)))
+	case rv64.FCVTLUD:
+		wri(satConvU64(a))
+	case rv64.FCVTDL:
+		wrf(float64(int64(rs1)))
+	case rv64.FCVTDLU:
+		wrf(float64(rs1))
+	case rv64.FMVXD:
+		wri(f[in.Rs1])
+	case rv64.FMVDX:
+		f[in.Rd] = rs1
+	case rv64.FEQD:
+		wri(b2u(a == b))
+	case rv64.FLTD:
+		wri(b2u(a < b))
+	case rv64.FLED:
+		wri(b2u(a <= b))
+	case rv64.FCLASSD:
+		wri(fclass(f[in.Rs1]))
+	case rv64.FMADDD:
+		wrf(math.FMA(a, b, fd(in.Rs3)))
+	case rv64.FMSUBD:
+		wrf(math.FMA(a, b, -fd(in.Rs3)))
+	case rv64.FNMADDD:
+		wrf(-math.FMA(a, b, fd(in.Rs3)))
+	case rv64.FNMSUBD:
+		wrf(math.FMA(-a, b, fd(in.Rs3)))
+	default:
+		return next, false, 0, fmt.Errorf("sim: unimplemented op %v at pc=%#x", in.Op, c.PC)
+	}
+	return next, false, memAddr, nil
+}
+
+const signBit = uint64(1) << 63
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mulhu(a, b uint64) uint64 {
+	hi, _ := bits.Mul64(a, b)
+	return hi
+}
+
+// mulh returns the high 64 bits of the signed 128-bit product.
+func mulh(a, b int64) uint64 {
+	hi := mulhu(uint64(a), uint64(b))
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	return hi
+}
+
+// mulhsu returns the high 64 bits of the signed×unsigned product.
+func mulhsu(a int64, b uint64) uint64 {
+	hi := mulhu(uint64(a), b)
+	if a < 0 {
+		hi -= b
+	}
+	return hi
+}
+
+func divS(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return -1
+	case a == math.MinInt64 && b == -1:
+		return math.MinInt64
+	}
+	return a / b
+}
+
+func remS(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt64 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func divU(a, b uint64) uint64 {
+	if b == 0 {
+		return ^uint64(0)
+	}
+	return a / b
+}
+
+func remU(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}
+
+func divS32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == math.MinInt32 && b == -1:
+		return math.MinInt32
+	}
+	return a / b
+}
+
+func remS32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt32 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func divU32(a, b uint32) uint32 {
+	if b == 0 {
+		return ^uint32(0)
+	}
+	return a / b
+}
+
+func remU32(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}
+
+// fpMin implements RISC-V fmin.d: if one input is NaN, return the other.
+func fpMin(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return a
+		}
+		return b
+	case a < b:
+		return a
+	}
+	return b
+}
+
+func fpMax(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return b
+		}
+		return a
+	case a > b:
+		return a
+	}
+	return b
+}
+
+// Saturating float→int conversions with RISC-V semantics (round toward
+// zero; NaN converts to the maximum value).
+func satConv32(a float64) int32 {
+	switch {
+	case math.IsNaN(a):
+		return math.MaxInt32
+	case a >= float64(math.MaxInt32):
+		return math.MaxInt32
+	case a <= float64(math.MinInt32):
+		return math.MinInt32
+	}
+	return int32(a)
+}
+
+func satConvU32(a float64) uint32 {
+	switch {
+	case math.IsNaN(a):
+		return math.MaxUint32
+	case a >= float64(math.MaxUint32):
+		return math.MaxUint32
+	case a <= 0:
+		return 0
+	}
+	return uint32(a)
+}
+
+func satConv64(a float64) int64 {
+	switch {
+	case math.IsNaN(a):
+		return math.MaxInt64
+	case a >= float64(math.MaxInt64):
+		return math.MaxInt64
+	case a <= float64(math.MinInt64):
+		return math.MinInt64
+	}
+	return int64(a)
+}
+
+func satConvU64(a float64) uint64 {
+	switch {
+	case math.IsNaN(a):
+		return math.MaxUint64
+	case a >= float64(math.MaxUint64):
+		return math.MaxUint64
+	case a <= 0:
+		return 0
+	}
+	return uint64(a)
+}
+
+// fclass returns the RISC-V FCLASS.D result bitmask.
+func fclass(bits uint64) uint64 {
+	v := math.Float64frombits(bits)
+	neg := bits&signBit != 0
+	exp := bits >> 52 & 0x7FF
+	frac := bits & ((1 << 52) - 1)
+	switch {
+	case math.IsInf(v, -1):
+		return 1 << 0
+	case math.IsInf(v, 1):
+		return 1 << 7
+	case math.IsNaN(v):
+		if frac>>51 == 1 {
+			return 1 << 9 // quiet NaN
+		}
+		return 1 << 8 // signaling NaN
+	case exp == 0 && frac == 0:
+		if neg {
+			return 1 << 3 // -0
+		}
+		return 1 << 4 // +0
+	case exp == 0:
+		if neg {
+			return 1 << 2 // negative subnormal
+		}
+		return 1 << 5 // positive subnormal
+	case neg:
+		return 1 << 1 // negative normal
+	}
+	return 1 << 6 // positive normal
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rv64"
+)
+
+// TestIntegerOpsAgainstOracle differentially tests every integer
+// register-register and register-immediate operation against a Go-side
+// oracle over random operands.
+func TestIntegerOpsAgainstOracle(t *testing.T) {
+	type oracle func(a, b uint64, imm int64) uint64
+	u32 := func(v uint64) uint32 { return uint32(v) }
+	sext32 := func(v int32) uint64 { return uint64(int64(v)) }
+
+	rOps := map[rv64.Op]oracle{
+		rv64.ADD:  func(a, b uint64, _ int64) uint64 { return a + b },
+		rv64.SUB:  func(a, b uint64, _ int64) uint64 { return a - b },
+		rv64.SLL:  func(a, b uint64, _ int64) uint64 { return a << (b & 63) },
+		rv64.SRL:  func(a, b uint64, _ int64) uint64 { return a >> (b & 63) },
+		rv64.SRA:  func(a, b uint64, _ int64) uint64 { return uint64(int64(a) >> (b & 63)) },
+		rv64.SLT:  func(a, b uint64, _ int64) uint64 { return b2u(int64(a) < int64(b)) },
+		rv64.SLTU: func(a, b uint64, _ int64) uint64 { return b2u(a < b) },
+		rv64.XOR:  func(a, b uint64, _ int64) uint64 { return a ^ b },
+		rv64.OR:   func(a, b uint64, _ int64) uint64 { return a | b },
+		rv64.AND:  func(a, b uint64, _ int64) uint64 { return a & b },
+		rv64.ADDW: func(a, b uint64, _ int64) uint64 { return sext32(int32(a) + int32(b)) },
+		rv64.SUBW: func(a, b uint64, _ int64) uint64 { return sext32(int32(a) - int32(b)) },
+		rv64.SLLW: func(a, b uint64, _ int64) uint64 { return sext32(int32(a) << (b & 31)) },
+		rv64.SRLW: func(a, b uint64, _ int64) uint64 { return sext32(int32(u32(a) >> (b & 31))) },
+		rv64.SRAW: func(a, b uint64, _ int64) uint64 { return sext32(int32(a) >> (b & 31)) },
+		rv64.MUL:  func(a, b uint64, _ int64) uint64 { return a * b },
+		rv64.MULH: func(a, b uint64, _ int64) uint64 {
+			hi, _ := bits.Mul64(uint64(a), uint64(b))
+			if int64(a) < 0 {
+				hi -= b
+			}
+			if int64(b) < 0 {
+				hi -= a
+			}
+			return hi
+		},
+		rv64.MULHU: func(a, b uint64, _ int64) uint64 {
+			hi, _ := bits.Mul64(a, b)
+			return hi
+		},
+		rv64.MULHSU: func(a, b uint64, _ int64) uint64 {
+			hi, _ := bits.Mul64(uint64(a), b)
+			if int64(a) < 0 {
+				hi -= b
+			}
+			return hi
+		},
+		rv64.MULW: func(a, b uint64, _ int64) uint64 { return sext32(int32(a) * int32(b)) },
+		rv64.DIV: func(a, b uint64, _ int64) uint64 {
+			switch {
+			case b == 0:
+				return ^uint64(0)
+			case int64(a) == math.MinInt64 && int64(b) == -1:
+				return a
+			}
+			return uint64(int64(a) / int64(b))
+		},
+		rv64.DIVU: func(a, b uint64, _ int64) uint64 {
+			if b == 0 {
+				return ^uint64(0)
+			}
+			return a / b
+		},
+		rv64.REM: func(a, b uint64, _ int64) uint64 {
+			switch {
+			case b == 0:
+				return a
+			case int64(a) == math.MinInt64 && int64(b) == -1:
+				return 0
+			}
+			return uint64(int64(a) % int64(b))
+		},
+		rv64.REMU: func(a, b uint64, _ int64) uint64 {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		},
+		rv64.DIVW: func(a, b uint64, _ int64) uint64 {
+			x, y := int32(a), int32(b)
+			switch {
+			case y == 0:
+				return sext32(-1)
+			case x == math.MinInt32 && y == -1:
+				return sext32(x)
+			}
+			return sext32(x / y)
+		},
+		rv64.DIVUW: func(a, b uint64, _ int64) uint64 {
+			if u32(b) == 0 {
+				return sext32(-1)
+			}
+			return sext32(int32(u32(a) / u32(b)))
+		},
+		rv64.REMW: func(a, b uint64, _ int64) uint64 {
+			x, y := int32(a), int32(b)
+			switch {
+			case y == 0:
+				return sext32(x)
+			case x == math.MinInt32 && y == -1:
+				return 0
+			}
+			return sext32(x % y)
+		},
+		rv64.REMUW: func(a, b uint64, _ int64) uint64 {
+			if u32(b) == 0 {
+				return sext32(int32(u32(a)))
+			}
+			return sext32(int32(u32(a) % u32(b)))
+		},
+	}
+	iOps := map[rv64.Op]oracle{
+		rv64.ADDI:  func(a, _ uint64, imm int64) uint64 { return a + uint64(imm) },
+		rv64.SLTI:  func(a, _ uint64, imm int64) uint64 { return b2u(int64(a) < imm) },
+		rv64.SLTIU: func(a, _ uint64, imm int64) uint64 { return b2u(a < uint64(imm)) },
+		rv64.XORI:  func(a, _ uint64, imm int64) uint64 { return a ^ uint64(imm) },
+		rv64.ORI:   func(a, _ uint64, imm int64) uint64 { return a | uint64(imm) },
+		rv64.ANDI:  func(a, _ uint64, imm int64) uint64 { return a & uint64(imm) },
+		rv64.ADDIW: func(a, _ uint64, imm int64) uint64 { return sext32(int32(a) + int32(imm)) },
+	}
+	shiftOps := map[rv64.Op]oracle{
+		rv64.SLLI:  func(a, _ uint64, imm int64) uint64 { return a << uint(imm) },
+		rv64.SRLI:  func(a, _ uint64, imm int64) uint64 { return a >> uint(imm) },
+		rv64.SRAI:  func(a, _ uint64, imm int64) uint64 { return uint64(int64(a) >> uint(imm)) },
+		rv64.SLLIW: func(a, _ uint64, imm int64) uint64 { return sext32(int32(a) << uint(imm)) },
+		rv64.SRLIW: func(a, _ uint64, imm int64) uint64 { return sext32(int32(u32(a) >> uint(imm))) },
+		rv64.SRAIW: func(a, _ uint64, imm int64) uint64 { return sext32(int32(a) >> uint(imm)) },
+	}
+
+	rng := rand.New(rand.NewSource(2026))
+	interesting := []uint64{0, 1, ^uint64(0), 1 << 63, math.MaxInt64, 0x80000000, 0xFFFFFFFF}
+	operand := func() uint64 {
+		if rng.Intn(3) == 0 {
+			return interesting[rng.Intn(len(interesting))]
+		}
+		return rng.Uint64()
+	}
+
+	check := func(op rv64.Op, or oracle, imm int64, wantRs2 bool) {
+		a, b := operand(), operand()
+		in := rv64.Inst{Op: op, Rd: 10, Rs1: 11, Imm: imm}
+		if wantRs2 {
+			in.Rs2 = 12
+		}
+		c := execOne(t, in, func(c *CPU) {
+			c.X[11] = a
+			c.X[12] = b
+		})
+		want := or(a, b, imm)
+		if c.X[10] != want {
+			t.Errorf("%v(a=%#x, b=%#x, imm=%d) = %#x, want %#x", op, a, b, imm, c.X[10], want)
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		for op, or := range rOps {
+			check(op, or, 0, true)
+		}
+		for op, or := range iOps {
+			check(op, or, int64(rng.Intn(4096))-2048, false)
+		}
+	}
+	for trial := 0; trial < 64; trial++ {
+		for op, or := range shiftOps {
+			max := 64
+			switch op {
+			case rv64.SLLIW, rv64.SRLIW, rv64.SRAIW:
+				max = 32
+			}
+			check(op, or, int64(rng.Intn(max)), false)
+		}
+	}
+}
+
+// TestFPArithmeticAgainstOracle differentially tests the FP arithmetic ops.
+func TestFPArithmeticAgainstOracle(t *testing.T) {
+	type fporacle func(a, b float64) float64
+	ops := map[rv64.Op]fporacle{
+		rv64.FADDD: func(a, b float64) float64 { return a + b },
+		rv64.FSUBD: func(a, b float64) float64 { return a - b },
+		rv64.FMULD: func(a, b float64) float64 { return a * b },
+		rv64.FDIVD: func(a, b float64) float64 { return a / b },
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a := math.Float64frombits(rng.Uint64())
+		b := math.Float64frombits(rng.Uint64())
+		for op, or := range ops {
+			c := execOne(t, rv64.Inst{Op: op, Rd: 3, Rs1: 1, Rs2: 2}, func(c *CPU) {
+				c.F[1] = math.Float64bits(a)
+				c.F[2] = math.Float64bits(b)
+			})
+			got := math.Float64frombits(c.F[3])
+			want := or(a, b)
+			if math.IsNaN(want) {
+				if !math.IsNaN(got) {
+					t.Errorf("%v(%v, %v) = %v, want NaN", op, a, b, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("%v(%v, %v) = %v, want %v", op, a, b, got, want)
+			}
+		}
+	}
+	// fsqrt on non-negative values.
+	for trial := 0; trial < 200; trial++ {
+		a := math.Abs(math.Float64frombits(rng.Uint64()))
+		c := execOne(t, rv64.Inst{Op: rv64.FSQRTD, Rd: 3, Rs1: 1}, func(c *CPU) {
+			c.F[1] = math.Float64bits(a)
+		})
+		got := math.Float64frombits(c.F[3])
+		want := math.Sqrt(a)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("fsqrt(%v) = %v, want %v", a, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim implements the functional RV64IMD simulator that plays the
+// role Spike plays in the paper's flow: it provides golden architectural
+// execution for basic-block profiling, creates the state that SimPoint
+// checkpoints capture, and feeds the committed instruction stream to the
+// BOOM timing model.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/rv64"
+)
+
+// DefaultStackTop is where the stack pointer starts. It sits well above the
+// default text/data bases used by the assembler.
+const DefaultStackTop = 0x0800_0000
+
+// Retired describes one committed instruction, in the form the BBV profiler
+// and the timing model consume.
+type Retired struct {
+	PC      uint64
+	NextPC  uint64
+	Inst    rv64.Inst
+	Taken   bool   // branches: condition outcome
+	MemAddr uint64 // loads/stores: effective address
+}
+
+// ErrBreakpoint is returned by Run when an EBREAK retires.
+var ErrBreakpoint = fmt.Errorf("sim: ebreak")
+
+// CPU is the architectural state plus execution machinery.
+type CPU struct {
+	PC      uint64
+	X       [32]uint64
+	F       [32]uint64 // raw IEEE-754 bits
+	Mem     *mem.Memory
+	InstRet uint64 // retired instruction counter
+	Halted  bool
+	Exit    int64 // exit code once Halted
+
+	Stdout []byte // bytes written via the write syscall
+
+	// decoded-instruction cache covering the text segment
+	textBase uint64
+	decoded  []rv64.Inst
+	valid    []bool
+}
+
+// New returns a CPU with fresh memory and the stack pointer initialized.
+func New() *CPU {
+	c := &CPU{Mem: mem.New()}
+	c.X[rv64.RegSP] = DefaultStackTop
+	return c
+}
+
+// Load installs an assembled program: text and data are copied into memory,
+// the PC is set to the entry point and the decode cache is primed.
+func (c *CPU) Load(p *asm.Program) {
+	c.Mem.SetBytes(p.TextAddr, p.TextBytes())
+	if len(p.Data) > 0 {
+		c.Mem.SetBytes(p.DataAddr, p.Data)
+	}
+	c.PC = p.Entry
+	c.SetTextWindow(p.TextAddr, len(p.Text))
+}
+
+// SetTextWindow (re)declares the instruction address range so fetches decode
+// through a direct-mapped slice cache instead of repeated binary decode.
+func (c *CPU) SetTextWindow(base uint64, words int) {
+	c.textBase = base
+	c.decoded = make([]rv64.Inst, words)
+	c.valid = make([]bool, words)
+}
+
+func (c *CPU) fetch(pc uint64) (rv64.Inst, error) {
+	if idx := (pc - c.textBase) / 4; pc >= c.textBase && idx < uint64(len(c.decoded)) && pc%4 == 0 {
+		if c.valid[idx] {
+			return c.decoded[idx], nil
+		}
+		in, err := rv64.Decode(c.Mem.Read32(pc))
+		if err != nil {
+			return in, fmt.Errorf("sim: pc=%#x: %w", pc, err)
+		}
+		c.decoded[idx], c.valid[idx] = in, true
+		return in, nil
+	}
+	in, err := rv64.Decode(c.Mem.Read32(pc))
+	if err != nil {
+		return in, fmt.Errorf("sim: pc=%#x: %w", pc, err)
+	}
+	return in, nil
+}
+
+// Step executes one instruction. If r is non-nil it is filled with the
+// retirement record. Stepping a halted CPU is a no-op returning nil.
+func (c *CPU) Step(r *Retired) error {
+	if c.Halted {
+		return nil
+	}
+	in, err := c.fetch(c.PC)
+	if err != nil {
+		return err
+	}
+	pc := c.PC
+	next, taken, memAddr, err := c.exec(in)
+	if err != nil {
+		return err
+	}
+	c.X[0] = 0
+	c.PC = next
+	c.InstRet++
+	if r != nil {
+		r.PC = pc
+		r.NextPC = next
+		r.Inst = in
+		r.Taken = taken
+		r.MemAddr = memAddr
+	}
+	return nil
+}
+
+// Run executes up to max instructions (or until halt when max < 0) and
+// returns the number retired.
+func (c *CPU) Run(max int64) (int64, error) {
+	var n int64
+	for !c.Halted && (max < 0 || n < max) {
+		if err := c.Step(nil); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RunTrace is Run with a callback per retired instruction. The callback
+// receives a reused Retired record; it must not retain the pointer.
+func (c *CPU) RunTrace(max int64, fn func(*Retired)) (int64, error) {
+	var n int64
+	var r Retired
+	for !c.Halted && (max < 0 || n < max) {
+		if err := c.Step(&r); err != nil {
+			return n, err
+		}
+		fn(&r)
+		n++
+	}
+	return n, nil
+}
+
+// syscall implements the minimal Linux-flavored ABI the workloads use:
+// a7=93 exit(a0), a7=64 write(fd=a0, buf=a1, len=a2).
+func (c *CPU) syscall() error {
+	switch c.X[rv64.RegA7] {
+	case 93: // exit
+		c.Halted = true
+		c.Exit = int64(c.X[rv64.RegA0])
+		return nil
+	case 64: // write
+		n := c.X[rv64.RegA2]
+		if n > 1<<20 {
+			return fmt.Errorf("sim: write syscall of %d bytes", n)
+		}
+		c.Stdout = append(c.Stdout, c.Mem.ReadBytes(c.X[rv64.RegA1], int(n))...)
+		c.X[rv64.RegA0] = n
+		return nil
+	}
+	return fmt.Errorf("sim: unsupported syscall %d at pc=%#x", c.X[rv64.RegA7], c.PC)
+}

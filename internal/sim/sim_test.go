@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/rv64"
+)
+
+// run assembles src, executes it to completion and returns the CPU.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New()
+	c.Load(p)
+	if _, err := c.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted {
+		t.Fatal("program did not halt")
+	}
+	return c
+}
+
+const exit = `
+	li a7, 93
+	ecall
+`
+
+func TestLoopSum(t *testing.T) {
+	c := run(t, `
+		.text
+		li a0, 0
+		li t0, 1
+		li t1, 101
+	loop:
+		add a0, a0, t0
+		addi t0, t0, 1
+		bne t0, t1, loop
+	`+exit)
+	if c.Exit != 5050 {
+		t.Fatalf("sum = %d, want 5050", c.Exit)
+	}
+}
+
+func TestRecursionWithStack(t *testing.T) {
+	// fib(15) = 610 via naive recursion, exercising the stack.
+	c := run(t, `
+		.text
+		li a0, 15
+		call fib
+		li a7, 93
+		ecall
+	fib:
+		li t0, 2
+		blt a0, t0, base
+		addi sp, sp, -24
+		sd ra, 0(sp)
+		sd a0, 8(sp)
+		addi a0, a0, -1
+		call fib
+		sd a0, 16(sp)
+		ld a0, 8(sp)
+		addi a0, a0, -2
+		call fib
+		ld t1, 16(sp)
+		add a0, a0, t1
+		ld ra, 0(sp)
+		addi sp, sp, 24
+		ret
+	base:
+		ret
+	`)
+	if c.Exit != 610 {
+		t.Fatalf("fib(15) = %d, want 610", c.Exit)
+	}
+}
+
+func TestMemoryOpsAndData(t *testing.T) {
+	c := run(t, `
+		.data
+	arr:
+		.dword 5, 9, 1, 7, 3
+		.equ N, 5
+		.text
+		la   t0, arr
+		li   t1, N
+		li   a0, 0
+	loop:
+		ld   t2, 0(t0)
+		add  a0, a0, t2
+		addi t0, t0, 8
+		addi t1, t1, -1
+		bnez t1, loop
+	`+exit)
+	if c.Exit != 25 {
+		t.Fatalf("sum = %d, want 25", c.Exit)
+	}
+}
+
+func TestByteHalfWordAccess(t *testing.T) {
+	c := run(t, `
+		.data
+	buf:
+		.space 16
+		.text
+		la  t0, buf
+		li  t1, -2
+		sb  t1, 0(t0)
+		lb  t2, 0(t0)      # sign-extended -2
+		lbu t3, 0(t0)      # 254
+		li  t1, -3
+		sh  t1, 2(t0)
+		lh  t4, 2(t0)      # -3
+		lhu t5, 2(t0)      # 65533
+		add a0, t2, t3     # 252
+		add a0, a0, t4     # 249
+		add a0, a0, t5     # 65782
+	`+exit)
+	if c.Exit != 65782 {
+		t.Fatalf("got %d, want 65782", c.Exit)
+	}
+}
+
+func TestWordArithmeticSignExtension(t *testing.T) {
+	c := run(t, `
+		.text
+		li   t0, 0x7FFFFFFF
+		addiw t1, t0, 1        # overflows to -2^31
+		li   t2, 0x80000000
+		sub  a0, t1, t2        # t2 = +2^31 via li (64-bit), t1 = -2^31
+	`+exit)
+	if c.Exit != -(1 << 32) {
+		t.Fatalf("got %d, want %d", c.Exit, -(int64(1) << 32))
+	}
+}
+
+func TestDivRemEdgeCases(t *testing.T) {
+	c := run(t, `
+		.text
+		li t0, 7
+		li t1, 0
+		div  t2, t0, t1       # -1
+		rem  t3, t0, t1       # 7
+		divu t4, t0, t1       # all ones
+		li  t5, 1
+		add a0, t2, t3        # 6
+		add t4, t4, t5        # 0
+		add a0, a0, t4
+	`+exit)
+	if c.Exit != 6 {
+		t.Fatalf("got %d, want 6", c.Exit)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := run(t, `
+		.data
+	vals:
+		.dword 0x4000000000000000   # 2.0
+		.dword 0x4008000000000000   # 3.0
+		.text
+		la  t0, vals
+		fld fa0, 0(t0)
+		fld fa1, 8(t0)
+		fmul.d  fa2, fa0, fa1       # 6.0
+		fadd.d  fa2, fa2, fa0       # 8.0
+		fsqrt.d fa3, fa2            # ~2.828
+		fmadd.d fa4, fa0, fa1, fa2  # 2*3+8 = 14
+		fdiv.d  fa5, fa4, fa0       # 7
+		fcvt.l.d a0, fa5
+	`+exit)
+	if c.Exit != 7 {
+		t.Fatalf("got %d, want 7", c.Exit)
+	}
+}
+
+func TestFPCompareAndConvert(t *testing.T) {
+	c := run(t, `
+		.text
+		li   t0, 5
+		fcvt.d.l fa0, t0
+		li   t1, 3
+		fcvt.d.l fa1, t1
+		flt.d a0, fa1, fa0     # 1
+		fle.d t2, fa0, fa1     # 0
+		feq.d t3, fa0, fa0     # 1
+		add  a0, a0, t2
+		add  a0, a0, t3        # 2
+		fneg.d fa2, fa0
+		fabs.d fa3, fa2
+		feq.d t4, fa3, fa0     # 1
+		add  a0, a0, t4        # 3
+	`+exit)
+	if c.Exit != 3 {
+		t.Fatalf("got %d, want 3", c.Exit)
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	c := run(t, `
+		.data
+	msg:
+		.ascii "hello"
+		.text
+		li a0, 1
+		la a1, msg
+		li a2, 5
+		li a7, 64
+		ecall
+		li a0, 0
+	`+exit)
+	if string(c.Stdout) != "hello" {
+		t.Fatalf("stdout = %q", c.Stdout)
+	}
+}
+
+func TestRetiredRecords(t *testing.T) {
+	p, err := asm.Assemble(`
+		.text
+		li  t0, 2          # addi
+		beq t0, t0, next   # taken branch
+		nop
+	next:
+		ld  t1, 0(sp)
+	` + exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.Load(p)
+	var recs []Retired
+	if _, err := c.RunTrace(-1, func(r *Retired) {
+		recs = append(recs, *r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	if recs[1].Inst.Op != rv64.BEQ || !recs[1].Taken {
+		t.Errorf("branch record wrong: %+v", recs[1])
+	}
+	if recs[1].NextPC != recs[2].PC {
+		t.Errorf("taken branch NextPC %#x, next record PC %#x", recs[1].NextPC, recs[2].PC)
+	}
+	if recs[2].Inst.Op != rv64.LD || recs[2].MemAddr != DefaultStackTop {
+		t.Errorf("load record wrong: %+v", recs[2])
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	c := run(t, `
+		.text
+		li  t0, 99
+		add x0, t0, t0
+		mv  a0, x0
+	`+exit)
+	if c.Exit != 0 {
+		t.Fatalf("x0 = %d", c.Exit)
+	}
+}
+
+func TestMulhAgainstBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want.Rsh(want, 64)
+		got := mulh(a, b)
+		return uint64(want.Int64()) == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	fu := func(a, b uint64) bool {
+		bigA := new(big.Int).SetUint64(a)
+		bigB := new(big.Int).SetUint64(b)
+		want := new(big.Int).Mul(bigA, bigB)
+		want.Rsh(want, 64)
+		return want.Uint64() == mulhu(a, b)
+	}
+	if err := quick.Check(fu, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	fsu := func(a int64, b uint64) bool {
+		want := new(big.Int).Mul(big.NewInt(a), new(big.Int).SetUint64(b))
+		want.Rsh(want, 64)
+		lo64 := new(big.Int).And(want, new(big.Int).SetUint64(math.MaxUint64))
+		return lo64.Uint64() == mulhsu(a, b)
+	}
+	if err := quick.Check(fsu, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivPropertiesAgainstGo(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true // covered by the edge-case test
+		}
+		return divS(a, b) == a/b && remS(a, b) == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFclass(t *testing.T) {
+	cases := map[float64]uint64{
+		math.Inf(-1):         1 << 0,
+		-1.5:                 1 << 1,
+		math.Copysign(0, -1): 1 << 3,
+		0:                    1 << 4,
+		2.5:                  1 << 6,
+		math.Inf(1):          1 << 7,
+	}
+	for v, want := range cases {
+		if got := fclass(math.Float64bits(v)); got != want {
+			t.Errorf("fclass(%v) = %#x, want %#x", v, got, want)
+		}
+	}
+	if got := fclass(math.Float64bits(math.NaN())); got != 1<<9 && got != 1<<8 {
+		t.Errorf("fclass(NaN) = %#x", got)
+	}
+}
+
+func TestEbreakStops(t *testing.T) {
+	p, err := asm.Assemble("\t.text\n\tebreak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.Load(p)
+	if _, err := c.Run(-1); err != ErrBreakpoint {
+		t.Fatalf("expected Breakpoint, got %v", err)
+	}
+}
+
+func TestUnsupportedSyscallErrors(t *testing.T) {
+	p, err := asm.Assemble("\t.text\n\tli a7, 999\n\tecall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.Load(p)
+	if _, err := c.Run(-1); err == nil {
+		t.Fatal("expected error for unsupported syscall")
+	}
+}

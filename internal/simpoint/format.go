@@ -1,0 +1,89 @@
+package simpoint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SimPoint 3.0 emits two result files: "<run>.simpoints" with one
+// "<interval> <clusterLabel>" line per chosen point, and "<run>.weights"
+// with the matching "<weight> <clusterLabel>" lines. These writers/readers
+// interoperate with the reference tool's outputs.
+
+// WriteSimPoints writes the selected points in .simpoints format.
+func WriteSimPoints(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range res.Selected {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", p.Interval, p.Cluster); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteWeights writes the matching .weights file.
+func WriteWeights(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range res.Selected {
+		if _, err := fmt.Fprintf(bw, "%.6f %d\n", p.Weight, p.Cluster); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSimPoints parses .simpoints + .weights streams back into points.
+func ReadSimPoints(simpoints, weights io.Reader) ([]Point, error) {
+	type line struct {
+		a float64
+		b int
+	}
+	parse := func(r io.Reader, what string) ([]line, error) {
+		var out []line
+		sc := bufio.NewScanner(r)
+		n := 0
+		for sc.Scan() {
+			n++
+			txt := strings.TrimSpace(sc.Text())
+			if txt == "" || strings.HasPrefix(txt, "#") {
+				continue
+			}
+			fields := strings.Fields(txt)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("simpoint: %s line %d: want 2 fields, got %d", what, n, len(fields))
+			}
+			a, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("simpoint: %s line %d: %v", what, n, err)
+			}
+			b, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("simpoint: %s line %d: %v", what, n, err)
+			}
+			out = append(out, line{a, b})
+		}
+		return out, sc.Err()
+	}
+	sp, err := parse(simpoints, "simpoints")
+	if err != nil {
+		return nil, err
+	}
+	wt, err := parse(weights, "weights")
+	if err != nil {
+		return nil, err
+	}
+	if len(sp) != len(wt) {
+		return nil, fmt.Errorf("simpoint: %d points but %d weights", len(sp), len(wt))
+	}
+	out := make([]Point, len(sp))
+	for i := range sp {
+		if sp[i].b != wt[i].b {
+			return nil, fmt.Errorf("simpoint: line %d: cluster mismatch %d vs %d", i+1, sp[i].b, wt[i].b)
+		}
+		out[i] = Point{Interval: int(sp[i].a), Cluster: sp[i].b, Weight: wt[i].a}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package simpoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bbv"
+)
+
+// synthPhases builds BBVs for a program with `phases` distinct phases, each
+// `perPhase` intervals long. Phase p executes blocks [p*10, p*10+3); each
+// interval gets small continuous jitter so no two intervals are identical
+// (identical intervals legitimately cluster into extra zero-variance
+// sub-phases).
+func synthPhases(phases, perPhase int) []bbv.Vector {
+	var out []bbv.Vector
+	idx := 0
+	for p := 0; p < phases; p++ {
+		for i := 0; i < perPhase; i++ {
+			v := bbv.Vector{}
+			base := p * 10
+			// Independent deterministic noise per (interval, block), like
+			// the natural per-interval wobble of a real program phase.
+			v[base] = 700 + 10*projEntry(99, idx, base)
+			v[base+1] = 200 + 10*projEntry(99, idx, base+1)
+			v[base+2] = 100 + 10*projEntry(99, idx, base+2)
+			out = append(out, v)
+			idx++
+		}
+	}
+	return out
+}
+
+// steadyPhases builds BBVs for a program whose phases are perfectly steady
+// loops: every interval inside a phase is identical, which is what real
+// loop-dominated workloads produce at steady state.
+func steadyPhases(phases, perPhase int) []bbv.Vector {
+	var out []bbv.Vector
+	for p := 0; p < phases; p++ {
+		for i := 0; i < perPhase; i++ {
+			out = append(out, bbv.Vector{p * 10: 700, p*10 + 1: 200, p*10 + 2: 100})
+		}
+	}
+	return out
+}
+
+func TestRecoversSteadyPhaseCountExactly(t *testing.T) {
+	for _, phases := range []int{1, 2, 3, 5} {
+		vecs := steadyPhases(phases, 12)
+		res, err := Choose(vecs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K != phases {
+			t.Fatalf("chose k=%d for %d steady phases", res.K, phases)
+		}
+	}
+}
+
+func TestNoisyPhasesStayPure(t *testing.T) {
+	vecs := synthPhases(3, 20)
+	res, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 {
+		t.Fatalf("chose k=%d for 3 phases", res.K)
+	}
+	// A cluster may sub-split a phase, but must never span two phases:
+	// each cluster's members must come from a single phase.
+	clusterPhase := map[int]int{}
+	for i, c := range res.Assignments {
+		phase := i / 20
+		if prev, ok := clusterPhase[c]; ok && prev != phase {
+			t.Fatalf("cluster %d spans phases %d and %d", c, prev, phase)
+		}
+		clusterPhase[c] = phase
+	}
+}
+
+func TestWeightsAndCoverage(t *testing.T) {
+	vecs := synthPhases(4, 25)
+	res, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.Points {
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Fatalf("weight out of range: %v", p.Weight)
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	if res.Coverage < 0.9 {
+		t.Fatalf("coverage %v below target", res.Coverage)
+	}
+	if len(res.Selected) > len(res.Points) {
+		t.Fatal("selected more points than exist")
+	}
+	// Ranking: weights non-increasing.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Weight > res.Points[i-1].Weight {
+			t.Fatal("points not ranked by weight")
+		}
+	}
+}
+
+func TestRepresentativeIsFromItsCluster(t *testing.T) {
+	vecs := synthPhases(3, 15)
+	res, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if res.Assignments[p.Interval] != p.Cluster {
+			t.Fatalf("representative %d not in cluster %d", p.Interval, p.Cluster)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	vecs := synthPhases(3, 20)
+	a, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || !reflect.DeepEqual(a.Points, b.Points) {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestSingleSteadyPhaseGivesOnePoint(t *testing.T) {
+	vecs := steadyPhases(1, 30)
+	res, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("k=%d for a single steady phase", res.K)
+	}
+	if len(res.Selected) != 1 || math.Abs(res.Selected[0].Weight-1) > 1e-9 {
+		t.Fatalf("selected: %+v", res.Selected)
+	}
+}
+
+func TestFewerIntervalsThanMaxK(t *testing.T) {
+	vecs := synthPhases(2, 2) // 4 intervals, MaxK=30
+	res, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 4 {
+		t.Fatalf("k=%d exceeds interval count", res.K)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Choose(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestProjectionDeterministicAndBounded(t *testing.T) {
+	for block := 0; block < 100; block++ {
+		for d := 0; d < 15; d++ {
+			v := projEntry(42, block, d)
+			if v < -1 || v > 1 {
+				t.Fatalf("projEntry out of range: %v", v)
+			}
+			if v != projEntry(42, block, d) {
+				t.Fatal("projEntry not deterministic")
+			}
+		}
+	}
+	// Different seeds must give a different matrix.
+	same := true
+	for d := 0; d < 15 && same; d++ {
+		if projEntry(1, 0, d) != projEntry(2, 0, d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("projection ignores the seed")
+	}
+}
+
+func TestKMeansPerfectSeparationRSSZero(t *testing.T) {
+	// Two exactly repeated points — RSS must be ~0 with k=2.
+	pts := [][]float64{{0, 0}, {0, 0}, {10, 10}, {10, 10}}
+	rng := newRNG(7)
+	_, _, rss := kmeansBest(pts, 2, 5, 50, rng)
+	if rss > 1e-18 {
+		t.Fatalf("rss = %v", rss)
+	}
+}

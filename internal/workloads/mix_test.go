@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/rv64"
+	"repro/internal/sim"
+)
+
+// mixOf returns per-class dynamic instruction fractions.
+func mixOf(t *testing.T, name string) map[rv64.Class]float64 {
+	t.Helper()
+	w, err := Build(name, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[rv64.Class]float64{}
+	var total float64
+	if _, err := c.RunTrace(-1, func(r *sim.Retired) {
+		counts[r.Inst.Op.Class()]++
+		total++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+// TestInstructionMixes pins each kernel's qualitative character — the
+// property the paper's workload choices rely on (FP-heavy FFT, ALU-heavy
+// Sha, memory-heavy Dijkstra/Stringsearch, divider-heavy Basicmath...).
+func TestInstructionMixes(t *testing.T) {
+	fp := func(m map[rv64.Class]float64) float64 {
+		return m[rv64.ClassFPALU] + m[rv64.ClassFPMul] + m[rv64.ClassFPDiv]
+	}
+	memf := func(m map[rv64.Class]float64) float64 {
+		return m[rv64.ClassLoad] + m[rv64.ClassStore]
+	}
+
+	sha := mixOf(t, "sha")
+	if fp(sha) != 0 {
+		t.Errorf("sha must be FP-free, got %.3f", fp(sha))
+	}
+	if sha[rv64.ClassALU] < 0.55 {
+		t.Errorf("sha ALU fraction %.2f too low", sha[rv64.ClassALU])
+	}
+
+	fft := mixOf(t, "fft")
+	if fp(fft) < 0.20 {
+		t.Errorf("fft FP fraction %.2f too low", fp(fft))
+	}
+	if memf(fft) < 0.15 {
+		t.Errorf("fft memory fraction %.2f too low", memf(fft))
+	}
+
+	bm := mixOf(t, "basicmath")
+	if bm[rv64.ClassDiv] < 0.01 {
+		t.Errorf("basicmath divider fraction %.3f too low", bm[rv64.ClassDiv])
+	}
+	if fp(bm) != 0 {
+		t.Errorf("basicmath must not touch FP (paper Figs. 5-7), got %.3f", fp(bm))
+	}
+
+	dij := mixOf(t, "dijkstra")
+	if memf(dij) < 0.18 {
+		t.Errorf("dijkstra memory fraction %.2f too low", memf(dij))
+	}
+
+	ss := mixOf(t, "stringsearch")
+	if ss[rv64.ClassLoad] < 0.15 {
+		t.Errorf("stringsearch load fraction %.2f too low", ss[rv64.ClassLoad])
+	}
+
+	tar := mixOf(t, "tarfind")
+	if tar[rv64.ClassBranch] < 0.12 {
+		t.Errorf("tarfind branch fraction %.2f too low", tar[rv64.ClassBranch])
+	}
+
+	qs := mixOf(t, "qsort")
+	if fp(qs) < 0.03 {
+		t.Errorf("qsort FP-compare fraction %.3f too low", fp(qs))
+	}
+
+	mm := mixOf(t, "matmult")
+	if mm[rv64.ClassMul] < 0.05 || memf(mm) < 0.15 {
+		t.Errorf("matmult mul/mem fractions %.2f/%.2f too low", mm[rv64.ClassMul], memf(mm))
+	}
+
+	pat := mixOf(t, "patricia")
+	if pat[rv64.ClassLoad] < 0.10 {
+		t.Errorf("patricia load fraction %.2f too low", pat[rv64.ClassLoad])
+	}
+
+	bc := mixOf(t, "bitcount")
+	if bc[rv64.ClassALU] < 0.5 {
+		t.Errorf("bitcount ALU fraction %.2f too low", bc[rv64.ClassALU])
+	}
+}
