@@ -1,0 +1,22 @@
+# Build/verify entry points. `make check` is the CI tier that keeps the
+# concurrent metrics/runner code race-clean on every change.
+
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: the packages with new concurrent code (metrics registry,
+# Runner worker pool) must stay race-clean.
+race:
+	$(GO) test -race ./internal/metrics ./internal/core
+
+check: vet race

@@ -4,16 +4,28 @@
 //	go run ./cmd/boomflow -bench sha -config mega
 //	go run ./cmd/boomflow -bench dijkstra -config medium -mode full -scale tiny
 //	go run ./cmd/boomflow -bench dijkstra -config mega -predictor gshare
+//
+// Observability: -metrics text|json renders the flow's metrics registry
+// (per-stage spans, simulator throughput, k-means stats) after the report;
+// -metrics-out redirects it to a file. -cpuprofile and -exectrace write
+// pprof / runtime-trace artifacts for deeper digging:
+//
+//	go run ./cmd/boomflow -bench sha -metrics json -metrics-out sha.json
+//	go run ./cmd/boomflow -bench sha -cpuprofile cpu.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	rttrace "runtime/trace"
 	"sort"
 
 	"repro/internal/boom"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -26,6 +38,10 @@ func main() {
 	predictor := flag.String("predictor", "tage", "tage|gshare (Takeaway #7 ablation)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	trace := flag.Uint64("trace", 0, "emit a pipeline lifecycle trace for the first N instructions (full mode)")
+	metricsMode := flag.String("metrics", "", "emit flow metrics after the report: text|json")
+	metricsOut := flag.String("metrics-out", "-", "metrics destination (- = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +49,33 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rttrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			rttrace.Stop()
+			f.Close()
+		}()
 	}
 
 	cfg, err := boom.ConfigByName(*configName)
@@ -56,18 +99,31 @@ func main() {
 	}
 	fc := core.FlowConfigFor(scale)
 
+	var reg *metrics.Registry
+	opts := []core.Option{core.WithScale(scale)}
+	switch *metricsMode {
+	case "":
+	case "text", "json":
+		reg = metrics.NewRegistry()
+		opts = append(opts, core.WithMetrics(reg))
+	default:
+		fatal(fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode))
+	}
+	runner := core.New(fc, opts...)
+	ctx := context.Background()
+
 	var r *core.Result
 	switch *mode {
 	case "simpoint":
 		fmt.Fprintf(os.Stderr, "profiling %s (%s scale)...\n", w.Name, scale)
-		p, err := core.ProfileWorkload(w, fc)
+		p, err := runner.Profile(ctx, w)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%d insts, %d intervals, k=%d, %d simpoints (%.0f%% coverage)\n",
 			p.TotalInsts, len(p.Vectors), p.Selection.K, p.NumSimPoints(),
 			100*p.Selection.Coverage)
-		r, err = core.RunSimPoint(p, cfg, fc)
+		r, err = runner.Run(ctx, p, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +146,7 @@ func main() {
 			}, *trace+1000)
 			return
 		}
-		r, err = core.RunFull(w, cfg, fc)
+		r, err = runner.RunFull(ctx, w, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,6 +188,31 @@ func main() {
 	fmt.Printf("  %-16s %6.2f   (%5.2f / %5.2f / %5.2f)  %4.1f%%\n",
 		"Other", other.TotalMW(), other.LeakageMW, other.InternalMW, other.SwitchingMW,
 		100*other.TotalMW()/r.TotalPowerMW())
+
+	if reg != nil {
+		if err := emitMetrics(reg, *metricsMode, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emitMetrics renders the registry to dest ("-" = stdout).
+func emitMetrics(reg *metrics.Registry, mode, dest string) error {
+	out := os.Stdout
+	if dest != "-" && dest != "" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	} else if mode == "text" {
+		fmt.Fprintln(out)
+	}
+	if mode == "json" {
+		return reg.WriteJSON(out)
+	}
+	return reg.WriteText(out)
 }
 
 func parseScale(s string) (workloads.Scale, error) {

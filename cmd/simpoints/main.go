@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,17 +43,21 @@ func main() {
 		fatal(err)
 	}
 	fc := core.FlowConfigFor(scale)
-	p, err := core.ProfileWorkload(w, fc)
+	runner := core.New(fc, core.WithScale(scale))
+	p, err := runner.Profile(context.Background(), w)
 	if err != nil {
 		fatal(err)
 	}
 
+	cs := p.Selection.Stats
 	fmt.Printf("workload        %s (%s), %s scale\n", w.Name, w.Suite, scale)
 	fmt.Printf("instructions    %d\n", p.TotalInsts)
 	fmt.Printf("interval size   %d\n", w.IntervalSize)
 	fmt.Printf("intervals       %d\n", len(p.Vectors))
 	fmt.Printf("basic blocks    %d\n", p.NumBlocks)
 	fmt.Printf("clusters (k)    %d\n", p.Selection.K)
+	fmt.Printf("k-means         %d runs over k=1..%d, %d iterations, converged=%v\n",
+		cs.Runs, cs.KTried, cs.Iterations, cs.Converged)
 	fmt.Printf("simpoints       %d (%.0f%% coverage)\n\n",
 		p.NumSimPoints(), 100*p.Selection.Coverage)
 

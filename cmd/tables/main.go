@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/boom"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -26,6 +28,9 @@ func main() {
 	csv := flag.Bool("csv", false, "write CSV files instead of text tables")
 	out := flag.String("out", ".", "output directory for -csv")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	jobs := flag.Int("j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
+	metricsMode := flag.String("metrics", "", "emit sweep metrics after the tables: text|json")
+	metricsOut := flag.String("metrics-out", "-", "metrics destination (- = stdout)")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
@@ -40,7 +45,20 @@ func main() {
 
 	configs := boom.Configs()
 	fc := core.FlowConfigFor(scale)
-	sw, err := core.RunSweep(workloads.Names(), configs, scale, fc, progress)
+	opts := []core.Option{core.WithScale(scale), core.WithProgress(progress)}
+	if *jobs > 0 {
+		opts = append(opts, core.WithParallelism(*jobs))
+	}
+	var reg *metrics.Registry
+	switch *metricsMode {
+	case "":
+	case "text", "json":
+		reg = metrics.NewRegistry()
+		opts = append(opts, core.WithMetrics(reg))
+	default:
+		fatal(fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode))
+	}
+	sw, err := core.New(fc, opts...).Sweep(context.Background(), workloads.Names(), configs)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,6 +97,26 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		} else {
 			fmt.Println(a.t.Render())
+		}
+	}
+
+	if reg != nil {
+		dst := os.Stdout
+		if *metricsOut != "-" && *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if *metricsMode == "json" {
+			err = reg.WriteJSON(dst)
+		} else {
+			err = reg.WriteText(dst)
+		}
+		if err != nil {
+			fatal(err)
 		}
 	}
 }

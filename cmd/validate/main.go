@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -52,7 +53,9 @@ func main() {
 
 	// 2. SimPoint flow accuracy on one workload.
 	fc := core.DefaultFlowConfig()
-	acc, err := core.ValidateAccuracy("bitcount", workloads.ScaleTiny, boom.LargeBOOM(), fc)
+	runner := core.New(fc, core.WithScale(workloads.ScaleTiny))
+	ctx := context.Background()
+	acc, err := runner.Validate(ctx, "bitcount", boom.LargeBOOM())
 	if err != nil {
 		check("simpoint accuracy", false, err.Error())
 	} else {
@@ -62,9 +65,8 @@ func main() {
 	}
 
 	// 3. Headline shapes on a small sweep.
-	sw, err := core.RunSweep([]string{"sha", "tarfind"},
-		[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()},
-		workloads.ScaleTiny, fc, nil)
+	sw, err := runner.Sweep(ctx, []string{"sha", "tarfind"},
+		[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
 	if err != nil {
 		check("sweep", false, err.Error())
 	} else {

@@ -3,7 +3,9 @@ package boom
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/rv64"
 	"repro/internal/sim"
 )
@@ -78,8 +80,9 @@ type uop struct {
 
 // Core is one timing-model instance. Create with New, drive with Run.
 type Core struct {
-	cfg   Config
-	stats *Stats
+	cfg     Config
+	stats   *Stats
+	metrics *metrics.Registry // optional; nil disables instrumentation
 
 	bp     *bpred
 	icache *cacheModel
@@ -165,10 +168,21 @@ func (c *Core) ResetStats() {
 	_ = old
 }
 
+// SetMetrics attaches an optional metrics registry: every Run records
+// retired instructions, cycles, wall time, and detailed-model throughput
+// (KIPS). A nil registry (the default) disables instrumentation.
+func (c *Core) SetMetrics(reg *metrics.Registry) { c.metrics = reg }
+
 // Run feeds committed instructions from next through the pipeline until
 // maxRetire further instructions have committed (or the trace ends). It
 // returns the number retired by this call.
 func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) uint64 {
+	if c.metrics != nil {
+		t0, cyc0, ret0 := time.Now(), c.cycle, c.retired
+		defer func() {
+			c.recordRun(time.Since(t0), c.cycle-cyc0, c.retired-ret0)
+		}()
+	}
 	c.next = next
 	c.eof = false
 	start := c.retired
@@ -189,6 +203,16 @@ func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) uint64 {
 		}
 	}
 	return c.retired - start
+}
+
+// recordRun publishes one Run call's throughput into the registry.
+func (c *Core) recordRun(wall time.Duration, cycles, retired uint64) {
+	c.metrics.Counter("boom.retired").Add(int64(retired))
+	c.metrics.Counter("boom.cycles").Add(int64(cycles))
+	c.metrics.Counter("boom.wall_ns").Add(wall.Nanoseconds())
+	if s := wall.Seconds(); s > 0 && retired > 0 {
+		c.metrics.Histogram("boom.kips").Observe(int64(float64(retired) / s / 1000))
+	}
 }
 
 func (c *Core) allocUop() *uop {

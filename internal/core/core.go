@@ -18,13 +18,19 @@
 // The same API also supports full-workload detailed simulation, which is
 // what the SimPoint methodology is being compared against (the paper's 45×
 // speedup and its accuracy validation).
+//
+// The flow is driven through a Runner constructed with New and functional
+// options (WithScale, WithLib, WithMetrics, WithParallelism, WithProgress).
+// Every Runner method takes a context.Context with cooperative cancellation
+// at interval boundaries, and every stage is wrapped in a span when a
+// metrics registry is attached. The package-level free functions
+// (ProfileWorkload, RunSimPoint, RunFull, RunSweep, ValidateAccuracy) are
+// deprecated thin wrappers kept for compatibility.
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/asap7"
 	"repro/internal/bbv"
@@ -81,84 +87,12 @@ type Profile struct {
 	Selection   *simpoint.Result
 	Checkpoints []*ckpt.Checkpoint // aligned with Selection.Selected
 	WarmupInsts []int64            // actual warm-up available per checkpoint
+	WallNS      int64              // measured wall-clock of steps 1–3
 }
 
 // NumSimPoints returns the number of selected simulation points (the
 // "# Simpoints" column of Table II).
 func (p *Profile) NumSimPoints() int { return len(p.Selection.Selected) }
-
-// ProfileWorkload runs steps 1–3 of the flow.
-func ProfileWorkload(w *workloads.Workload, fc FlowConfig) (*Profile, error) {
-	// Step 1: functional execution + BBV profiling.
-	cpu, err := w.NewCPU()
-	if err != nil {
-		return nil, err
-	}
-	profiler := bbv.NewProfiler(w.IntervalSize)
-	n, err := cpu.RunTrace(-1, profiler.Observe)
-	if err != nil {
-		return nil, fmt.Errorf("core: profiling %s: %w", w.Name, err)
-	}
-	if !cpu.Halted {
-		return nil, fmt.Errorf("core: %s did not halt", w.Name)
-	}
-	profiler.Finish()
-
-	// Step 2: SimPoint selection.
-	sel, err := simpoint.Choose(profiler.Vectors(), fc.SimPoint)
-	if err != nil {
-		return nil, fmt.Errorf("core: simpoint selection for %s: %w", w.Name, err)
-	}
-
-	p := &Profile{
-		Workload:   w,
-		TotalInsts: uint64(n),
-		Vectors:    profiler.Vectors(),
-		NumBlocks:  profiler.NumBlocks(),
-		Selection:  sel,
-	}
-
-	// Step 3: checkpoint creation. Checkpoints are taken WarmupInsts before
-	// each simulation point (clamped at program start), in one functional
-	// pass over the sorted capture points.
-	type capturePoint struct {
-		at       int64 // instruction count where the checkpoint is taken
-		selIdx   int
-		interval int64
-	}
-	caps := make([]capturePoint, len(sel.Selected))
-	for i, pt := range sel.Selected {
-		start := int64(pt.Interval) * w.IntervalSize
-		at := start - fc.WarmupInsts
-		if at < 0 {
-			at = 0
-		}
-		caps[i] = capturePoint{at: at, selIdx: i, interval: int64(pt.Interval)}
-	}
-	sort.Slice(caps, func(i, j int) bool { return caps[i].at < caps[j].at })
-
-	cpu2, err := w.NewCPU()
-	if err != nil {
-		return nil, err
-	}
-	p.Checkpoints = make([]*ckpt.Checkpoint, len(caps))
-	p.WarmupInsts = make([]int64, len(caps))
-	var executed int64
-	for _, cp := range caps {
-		if delta := cp.at - executed; delta > 0 {
-			if _, err := cpu2.Run(delta); err != nil {
-				return nil, fmt.Errorf("core: checkpointing %s: %w", w.Name, err)
-			}
-			executed = cp.at
-		}
-		k := ckpt.Capture(cpu2)
-		k.Interval = cp.interval
-		k.Weight = sel.Selected[cp.selIdx].Weight
-		p.Checkpoints[cp.selIdx] = k
-		p.WarmupInsts[cp.selIdx] = cp.interval*w.IntervalSize - cp.at
-	}
-	return p, nil
-}
 
 // PointResult is the measurement of one simulation point — the phase-level
 // view the SimPoint methodology provides for free.
@@ -187,6 +121,7 @@ type Result struct {
 	Points []PointResult // per-simulation-point phase measurements
 
 	DetailedInsts uint64 // instructions run on the detailed model
+	MeasureWallNS int64  // measured wall-clock of steps 4–5
 }
 
 // IPC returns the (weighted) instructions per cycle.
@@ -213,106 +148,6 @@ func traceFn(cpu *sim.CPU) func(*sim.Retired) bool {
 	}
 }
 
-// RunSimPoint executes steps 4–5: measure every selected simulation point
-// on cfg and aggregate by cluster weight.
-func RunSimPoint(p *Profile, cfg boom.Config, fc FlowConfig) (*Result, error) {
-	est := power.NewEstimator(cfg, fc.Lib)
-	agg := boom.NewStats(&cfg)
-	aggSlots := make([]float64, cfg.IntIssueSlots)
-	var points []PointResult
-	var detailed uint64
-
-	prog, err := p.Workload.Program()
-	if err != nil {
-		return nil, err
-	}
-	for i, k := range p.Checkpoints {
-		cpu := sim.New()
-		cpu.Load(prog) // establish the decode window
-		k.Restore(cpu)
-		core := boom.New(cfg)
-		next := traceFn(cpu)
-		if warm := uint64(p.WarmupInsts[i]); warm > 0 {
-			core.Run(next, warm)
-			detailed += warm
-		}
-		core.ResetStats()
-		ran := core.Run(next, uint64(p.Workload.IntervalSize))
-		detailed += ran
-		st := core.Stats()
-
-		w := p.Selection.Selected[i].Weight
-		if rep, perr := est.Estimate(st); perr == nil {
-			points = append(points, PointResult{
-				Interval: p.Checkpoints[i].Interval,
-				Weight:   w,
-				IPC:      st.IPC(),
-				PowerMW:  rep.TotalMW(),
-			})
-		}
-		slots := est.SlotPower(st)
-		for s := range aggSlots {
-			aggSlots[s] += w * slots[s]
-		}
-		st.ScaleWeighted(w)
-		agg.Add(st)
-	}
-	rep, err := est.Estimate(agg)
-	if err != nil {
-		return nil, err
-	}
-	// Normalize the weighted slot powers by coverage so partial coverage
-	// does not deflate them.
-	for s := range aggSlots {
-		aggSlots[s] /= p.Selection.Coverage
-	}
-	return &Result{
-		Workload:      p.Workload.Name,
-		Suite:         p.Workload.Suite,
-		ConfigName:    cfg.Name,
-		Mode:          "simpoint",
-		TotalInsts:    p.TotalInsts,
-		IntervalSize:  p.Workload.IntervalSize,
-		NumPoints:     p.NumSimPoints(),
-		Coverage:      p.Selection.Coverage,
-		K:             p.Selection.K,
-		Stats:         agg,
-		Power:         rep,
-		Slots:         aggSlots,
-		Points:        points,
-		DetailedInsts: detailed,
-	}, nil
-}
-
-// RunFull executes the entire workload on the detailed model (the baseline
-// the SimPoint methodology replaces).
-func RunFull(w *workloads.Workload, cfg boom.Config, fc FlowConfig) (*Result, error) {
-	cpu, err := w.NewCPU()
-	if err != nil {
-		return nil, err
-	}
-	core := boom.New(cfg)
-	ran := core.Run(traceFn(cpu), ^uint64(0))
-	st := core.Stats()
-	est := power.NewEstimator(cfg, fc.Lib)
-	rep, err := est.Estimate(st)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Workload:      w.Name,
-		Suite:         w.Suite,
-		ConfigName:    cfg.Name,
-		Mode:          "full",
-		TotalInsts:    st.Insts,
-		IntervalSize:  w.IntervalSize,
-		Stats:         st,
-		Power:         rep,
-		Slots:         est.SlotPower(st),
-		DetailedInsts: ran,
-	}, nil
-}
-
 // Sweep holds a full experiment: every workload × configuration.
 type Sweep struct {
 	Flow     FlowConfig
@@ -321,117 +156,19 @@ type Sweep struct {
 	Results  map[string]map[string]*Result // [config][workload]
 }
 
-// RunSweep profiles every named workload once and evaluates it on every
-// config with the SimPoint flow. Work is spread across CPU cores — every
-// (workload, config) measurement is independent and deterministic, so the
-// results are identical to a serial run. progress (optional) receives step
-// strings.
-func RunSweep(names []string, configs []boom.Config, scale workloads.Scale,
-	fc FlowConfig, progress func(string)) (*Sweep, error) {
-	var noteMu sync.Mutex
-	note := func(format string, args ...interface{}) {
-		if progress != nil {
-			noteMu.Lock()
-			progress(fmt.Sprintf(format, args...))
-			noteMu.Unlock()
-		}
-	}
-	sw := &Sweep{
-		Flow:     fc,
-		Scale:    scale,
-		Profiles: map[string]*Profile{},
-		Results:  map[string]map[string]*Result{},
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(names) {
-		workers = len(names)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Phase 1: profile every workload (parallel across workloads).
-	var mu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for _, name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			w, err := workloads.Build(name, scale)
-			if err != nil {
-				setErr(err)
-				return
-			}
-			note("profiling %-14s (%s scale)", name, scale)
-			p, err := ProfileWorkload(w, fc)
-			if err != nil {
-				setErr(err)
-				return
-			}
-			mu.Lock()
-			sw.Profiles[name] = p
-			mu.Unlock()
-			note("  %-14s %d insts, %d intervals, k=%d, %d simpoints, %.0f%% coverage",
-				name, p.TotalInsts, len(p.Vectors), p.Selection.K, p.NumSimPoints(),
-				100*p.Selection.Coverage)
-		}(name)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	// Phase 2: measure every (config, workload) pair (parallel).
-	for _, cfg := range configs {
-		sw.Results[cfg.Name] = map[string]*Result{}
-	}
-	for _, cfg := range configs {
-		for _, name := range names {
-			wg.Add(1)
-			go func(cfg boom.Config, name string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				note("measuring %-14s on %s", name, cfg.Name)
-				r, err := RunSimPoint(sw.Profiles[name], cfg, fc)
-				if err != nil {
-					setErr(err)
-					return
-				}
-				mu.Lock()
-				sw.Results[cfg.Name][name] = r
-				mu.Unlock()
-			}(cfg, name)
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return sw, nil
-}
-
 // SpeedupReport quantifies the simulation-time reduction of the SimPoint
 // methodology (the paper's 45×): detailed-model instructions with SimPoints
-// vs simulating every workload in full.
+// vs simulating every workload in full, plus the measured wall-clock cost
+// of the flow so the reported speedup is backed by real time, not
+// instruction counts alone.
 type SpeedupReport struct {
 	FullInsts     uint64
 	DetailedInsts uint64
+	ProfileWallNS int64 // measured wall-clock of functional profiling (steps 1–3)
+	MeasureWallNS int64 // measured wall-clock of detailed measurement (steps 4–5)
 }
 
-// Speedup returns the reduction factor.
+// Speedup returns the instruction-count reduction factor.
 func (s SpeedupReport) Speedup() float64 {
 	if s.DetailedInsts == 0 {
 		return 0
@@ -439,13 +176,44 @@ func (s SpeedupReport) Speedup() float64 {
 	return float64(s.FullInsts) / float64(s.DetailedInsts)
 }
 
-// SpeedupOf summarizes a sweep's simulation-cost saving.
+// FlowWallNS returns the measured wall-clock of the whole SimPoint flow.
+func (s SpeedupReport) FlowWallNS() int64 { return s.ProfileWallNS + s.MeasureWallNS }
+
+// EstFullWallNS estimates the wall-clock of simulating everything on the
+// detailed model, from the measured per-instruction detailed-model cost.
+func (s SpeedupReport) EstFullWallNS() int64 {
+	if s.DetailedInsts == 0 {
+		return 0
+	}
+	perInst := float64(s.MeasureWallNS) / float64(s.DetailedInsts)
+	return int64(perInst * float64(s.FullInsts))
+}
+
+// WallSpeedup returns the measured wall-clock speedup of the SimPoint flow
+// (profiling + detailed measurement) over an estimated full detailed
+// simulation. Zero when no wall-clock data was recorded.
+func (s SpeedupReport) WallSpeedup() float64 {
+	flow := s.FlowWallNS()
+	if flow == 0 || s.MeasureWallNS == 0 || s.DetailedInsts == 0 {
+		return 0
+	}
+	return float64(s.EstFullWallNS()) / float64(flow)
+}
+
+// SpeedupOf summarizes a sweep's simulation-cost saving. Each workload's
+// profiling wall-clock is counted once (profiles are shared across
+// configs); detailed measurement wall-clock is summed per (config,
+// workload) pair.
 func (sw *Sweep) SpeedupOf() SpeedupReport {
 	var rep SpeedupReport
+	for _, p := range sw.Profiles {
+		rep.ProfileWallNS += p.WallNS
+	}
 	for _, perCfg := range sw.Results {
 		for _, r := range perCfg {
 			rep.FullInsts += r.TotalInsts
 			rep.DetailedInsts += r.DetailedInsts
+			rep.MeasureWallNS += r.MeasureWallNS
 		}
 	}
 	return rep
@@ -468,32 +236,44 @@ func (a Accuracy) ErrorPct() float64 {
 	return 100 * (a.SimPointIPC - a.FullIPC) / a.FullIPC
 }
 
+// --- Deprecated compatibility wrappers over the Runner API. ---
+
+// ProfileWorkload runs steps 1–3 of the flow.
+//
+// Deprecated: use New(fc).Profile(ctx, w).
+func ProfileWorkload(w *workloads.Workload, fc FlowConfig) (*Profile, error) {
+	return New(fc).Profile(context.Background(), w)
+}
+
+// RunSimPoint executes steps 4–5: measure every selected simulation point
+// on cfg and aggregate by cluster weight.
+//
+// Deprecated: use New(fc).Run(ctx, p, cfg).
+func RunSimPoint(p *Profile, cfg boom.Config, fc FlowConfig) (*Result, error) {
+	return New(fc).Run(context.Background(), p, cfg)
+}
+
+// RunFull executes the entire workload on the detailed model (the baseline
+// the SimPoint methodology replaces).
+//
+// Deprecated: use New(fc).RunFull(ctx, w, cfg).
+func RunFull(w *workloads.Workload, cfg boom.Config, fc FlowConfig) (*Result, error) {
+	return New(fc).RunFull(context.Background(), w, cfg)
+}
+
+// RunSweep profiles every named workload once and evaluates it on every
+// config with the SimPoint flow. progress (optional) receives step strings.
+//
+// Deprecated: use New(fc, WithScale(scale), WithProgress(progress)).Sweep.
+func RunSweep(names []string, configs []boom.Config, scale workloads.Scale,
+	fc FlowConfig, progress func(string)) (*Sweep, error) {
+	return New(fc, WithScale(scale), WithProgress(progress)).
+		Sweep(context.Background(), names, configs)
+}
+
 // ValidateAccuracy runs both the SimPoint flow and the full detailed model.
+//
+// Deprecated: use New(fc, WithScale(scale)).Validate(ctx, name, cfg).
 func ValidateAccuracy(name string, scale workloads.Scale, cfg boom.Config, fc FlowConfig) (*Accuracy, error) {
-	w, err := workloads.Build(name, scale)
-	if err != nil {
-		return nil, err
-	}
-	p, err := ProfileWorkload(w, fc)
-	if err != nil {
-		return nil, err
-	}
-	sp, err := RunSimPoint(p, cfg, fc)
-	if err != nil {
-		return nil, err
-	}
-	w2, err := workloads.Build(name, scale)
-	if err != nil {
-		return nil, err
-	}
-	full, err := RunFull(w2, cfg, fc)
-	if err != nil {
-		return nil, err
-	}
-	return &Accuracy{
-		Workload:    name,
-		ConfigName:  cfg.Name,
-		SimPointIPC: sp.IPC(),
-		FullIPC:     full.IPC(),
-	}, nil
+	return New(fc, WithScale(scale)).Validate(context.Background(), name, cfg)
 }

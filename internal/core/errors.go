@@ -1,0 +1,27 @@
+package core
+
+import "fmt"
+
+// StageError identifies where in the flow an error occurred: the pipeline
+// stage (profile/select/checkpoint/warmup/measure/estimate), the workload,
+// and — for detailed-model stages — the BOOM configuration. It wraps the
+// underlying cause for errors.Is/As.
+type StageError struct {
+	Stage    string // one of the Stage* constants
+	Workload string
+	Config   string // BOOM config name; empty for config-independent stages
+	Err      error
+}
+
+func (e *StageError) Error() string {
+	s := "core: stage " + e.Stage
+	if e.Workload != "" {
+		s += " workload=" + e.Workload
+	}
+	if e.Config != "" {
+		s += " config=" + e.Config
+	}
+	return fmt.Sprintf("%s: %v", s, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }

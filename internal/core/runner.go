@@ -1,0 +1,571 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/asap7"
+	"repro/internal/bbv"
+	"repro/internal/boom"
+	"repro/internal/ckpt"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/simpoint"
+	"repro/internal/workloads"
+)
+
+// Stage names used for spans and StageError identity, in flow order.
+const (
+	StageProfile    = "profile"
+	StageSelect     = "select"
+	StageCheckpoint = "checkpoint"
+	StageWarmup     = "warmup"
+	StageMeasure    = "measure"
+	StageEstimate   = "estimate"
+)
+
+// Stages lists every stage name in flow order.
+func Stages() []string {
+	return []string{StageProfile, StageSelect, StageCheckpoint,
+		StageWarmup, StageMeasure, StageEstimate}
+}
+
+// Runner executes the SimPoint→power flow. Construct with New; the zero
+// value is not usable. A Runner is safe for concurrent use: it holds only
+// immutable configuration plus an optional metrics registry.
+type Runner struct {
+	fc       FlowConfig
+	scale    workloads.Scale
+	reg      *metrics.Registry
+	par      int
+	progress func(string)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithScale sets the workload scale used when the Runner builds workloads
+// by name (Sweep, Validate). Default: workloads.ScaleTiny.
+func WithScale(s workloads.Scale) Option {
+	return func(r *Runner) { r.scale = s }
+}
+
+// WithLib overrides the ASAP7 library used for power estimation.
+func WithLib(lib asap7.Library) Option {
+	return func(r *Runner) { r.fc.Lib = lib }
+}
+
+// WithMetrics attaches a metrics registry: per-stage spans under the
+// "flow" root span, functional/detailed throughput, k-means stats, and
+// sweep worker utilization. A nil registry disables instrumentation.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(r *Runner) { r.reg = reg }
+}
+
+// WithParallelism caps the number of Sweep workers. Values below 1 mean
+// "one worker". Default: runtime.GOMAXPROCS(0). Results are bit-identical
+// for every parallelism level — each (workload, config) measurement is an
+// isolated deterministic core+CPU pair.
+func WithParallelism(n int) Option {
+	return func(r *Runner) { r.par = n }
+}
+
+// WithProgress installs a callback receiving human-readable step strings.
+func WithProgress(fn func(string)) Option {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// New returns a Runner for the given flow configuration.
+func New(fc FlowConfig, opts ...Option) *Runner {
+	r := &Runner{
+		fc:    fc,
+		scale: workloads.ScaleTiny,
+		par:   runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.par < 1 {
+		r.par = 1
+	}
+	return r
+}
+
+// Metrics returns the attached registry (nil when none).
+func (r *Runner) Metrics() *metrics.Registry { return r.reg }
+
+// flowLap opens a lap on the root "flow" span; the returned func closes it.
+func (r *Runner) flowLap() func() {
+	if r.reg == nil {
+		return func() {}
+	}
+	sp := r.reg.Span("flow")
+	sp.Start()
+	return sp.End
+}
+
+// stage opens a lap on one stage span under the "flow" root.
+func (r *Runner) stage(name string) func() {
+	if r.reg == nil {
+		return func() {}
+	}
+	sp := r.reg.Span("flow").Child(name)
+	sp.Start()
+	return sp.End
+}
+
+func (r *Runner) note(format string, args ...interface{}) {
+	if r.progress != nil {
+		r.progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Profile runs steps 1–3 of the flow (profile → select → checkpoint) for
+// one already-built workload. Cancellation is cooperative: the context is
+// checked at interval boundaries of the functional execution.
+func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, error) {
+	start := time.Now()
+	defer r.flowLap()()
+
+	// Stage 1: functional execution + BBV profiling, one interval at a time.
+	endStage := r.stage(StageProfile)
+	cpu, err := w.NewCPU()
+	if err != nil {
+		endStage()
+		return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: err}
+	}
+	cpu.SetMetrics(r.reg)
+	profiler := bbv.NewProfiler(w.IntervalSize)
+	var n int64
+	for !cpu.Halted {
+		if cerr := ctx.Err(); cerr != nil {
+			endStage()
+			return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: cerr}
+		}
+		ran, rerr := cpu.RunTrace(w.IntervalSize, profiler.Observe)
+		n += ran
+		if rerr != nil {
+			endStage()
+			return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: rerr}
+		}
+		if ran == 0 && !cpu.Halted {
+			endStage()
+			return nil, &StageError{Stage: StageProfile, Workload: w.Name,
+				Err: fmt.Errorf("no forward progress (did not halt)")}
+		}
+	}
+	profiler.Finish()
+	endStage()
+
+	// Stage 2: SimPoint selection.
+	endStage = r.stage(StageSelect)
+	sel, err := simpoint.Choose(profiler.Vectors(), r.fc.SimPoint)
+	if err != nil {
+		endStage()
+		return nil, &StageError{Stage: StageSelect, Workload: w.Name, Err: err}
+	}
+	if r.reg != nil {
+		r.reg.Counter("simpoint.kmeans.runs").Add(int64(sel.Stats.Runs))
+		r.reg.Counter("simpoint.kmeans.iterations").Add(int64(sel.Stats.Iterations))
+		r.reg.Gauge("simpoint.k").Set(float64(sel.K))
+		r.reg.Gauge("simpoint.coverage").Set(sel.Coverage)
+	}
+	endStage()
+
+	p := &Profile{
+		Workload:   w,
+		TotalInsts: uint64(n),
+		Vectors:    profiler.Vectors(),
+		NumBlocks:  profiler.NumBlocks(),
+		Selection:  sel,
+	}
+
+	// Stage 3: checkpoint creation. Checkpoints are taken WarmupInsts
+	// before each simulation point (clamped at program start), in one
+	// functional pass over the sorted capture points.
+	endStage = r.stage(StageCheckpoint)
+	type capturePoint struct {
+		at       int64 // instruction count where the checkpoint is taken
+		selIdx   int
+		interval int64
+	}
+	caps := make([]capturePoint, len(sel.Selected))
+	for i, pt := range sel.Selected {
+		st := int64(pt.Interval) * w.IntervalSize
+		at := st - r.fc.WarmupInsts
+		if at < 0 {
+			at = 0
+		}
+		caps[i] = capturePoint{at: at, selIdx: i, interval: int64(pt.Interval)}
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].at < caps[j].at })
+
+	cpu2, err := w.NewCPU()
+	if err != nil {
+		endStage()
+		return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: err}
+	}
+	cpu2.SetMetrics(r.reg)
+	p.Checkpoints = make([]*ckpt.Checkpoint, len(caps))
+	p.WarmupInsts = make([]int64, len(caps))
+	var executed int64
+	for _, cp := range caps {
+		for executed < cp.at {
+			if cerr := ctx.Err(); cerr != nil {
+				endStage()
+				return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: cerr}
+			}
+			step := cp.at - executed
+			if step > w.IntervalSize {
+				step = w.IntervalSize
+			}
+			if _, rerr := cpu2.Run(step); rerr != nil {
+				endStage()
+				return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: rerr}
+			}
+			executed += step
+		}
+		k := ckpt.Capture(cpu2)
+		k.Interval = cp.interval
+		k.Weight = sel.Selected[cp.selIdx].Weight
+		p.Checkpoints[cp.selIdx] = k
+		p.WarmupInsts[cp.selIdx] = cp.interval*w.IntervalSize - cp.at
+	}
+	endStage()
+	p.WallNS = time.Since(start).Nanoseconds()
+	return p, nil
+}
+
+// Run executes steps 4–5 of the flow for one profiled workload on one
+// configuration: restore every checkpoint, warm up, measure, and estimate
+// power, aggregating by cluster weight. The context is checked between
+// simulation points.
+func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result, error) {
+	start := time.Now()
+	defer r.flowLap()()
+
+	est := power.NewEstimator(cfg, r.fc.Lib)
+	est.SetMetrics(r.reg)
+	agg := boom.NewStats(&cfg)
+	aggSlots := make([]float64, cfg.IntIssueSlots)
+	var points []PointResult
+	var detailed uint64
+
+	prog, err := p.Workload.Program()
+	if err != nil {
+		return nil, &StageError{Stage: StageWarmup, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+	}
+	for i, k := range p.Checkpoints {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &StageError{Stage: StageMeasure, Workload: p.Workload.Name, Config: cfg.Name, Err: cerr}
+		}
+		// Warm-up: restore the architectural checkpoint into a fresh
+		// functional+timing pair and prime caches and predictors.
+		endStage := r.stage(StageWarmup)
+		cpu := sim.New()
+		cpu.Load(prog) // establish the decode window
+		k.Restore(cpu)
+		core := boom.New(cfg)
+		core.SetMetrics(r.reg)
+		next := traceFn(cpu)
+		if warm := uint64(p.WarmupInsts[i]); warm > 0 {
+			core.Run(next, warm)
+			detailed += warm
+		}
+		core.ResetStats()
+		endStage()
+
+		endStage = r.stage(StageMeasure)
+		ran := core.Run(next, uint64(p.Workload.IntervalSize))
+		endStage()
+		detailed += ran
+		st := core.Stats()
+
+		w := p.Selection.Selected[i].Weight
+		endStage = r.stage(StageEstimate)
+		if rep, perr := est.Estimate(st); perr == nil {
+			points = append(points, PointResult{
+				Interval: p.Checkpoints[i].Interval,
+				Weight:   w,
+				IPC:      st.IPC(),
+				PowerMW:  rep.TotalMW(),
+			})
+		}
+		slots := est.SlotPower(st)
+		for s := range aggSlots {
+			aggSlots[s] += w * slots[s]
+		}
+		st.ScaleWeighted(w)
+		agg.Add(st)
+		endStage()
+	}
+	endStage := r.stage(StageEstimate)
+	rep, err := est.Estimate(agg)
+	endStage()
+	if err != nil {
+		return nil, &StageError{Stage: StageEstimate, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+	}
+	// Normalize the weighted slot powers by coverage so partial coverage
+	// does not deflate them.
+	for s := range aggSlots {
+		aggSlots[s] /= p.Selection.Coverage
+	}
+	return &Result{
+		Workload:      p.Workload.Name,
+		Suite:         p.Workload.Suite,
+		ConfigName:    cfg.Name,
+		Mode:          "simpoint",
+		TotalInsts:    p.TotalInsts,
+		IntervalSize:  p.Workload.IntervalSize,
+		NumPoints:     p.NumSimPoints(),
+		Coverage:      p.Selection.Coverage,
+		K:             p.Selection.K,
+		Stats:         agg,
+		Power:         rep,
+		Slots:         aggSlots,
+		Points:        points,
+		DetailedInsts: detailed,
+		MeasureWallNS: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// RunFull executes the entire workload on the detailed model (the
+// baseline the SimPoint methodology replaces). Cancellation is checked at
+// interval boundaries of the detailed run.
+func (r *Runner) RunFull(ctx context.Context, w *workloads.Workload, cfg boom.Config) (*Result, error) {
+	start := time.Now()
+	defer r.flowLap()()
+
+	cpu, err := w.NewCPU()
+	if err != nil {
+		return nil, &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: err}
+	}
+	core := boom.New(cfg)
+	core.SetMetrics(r.reg)
+	next := traceFn(cpu)
+
+	endStage := r.stage(StageMeasure)
+	chunk := uint64(w.IntervalSize)
+	if chunk == 0 {
+		chunk = 1 << 20
+	}
+	var ran uint64
+	for {
+		n := core.Run(next, chunk)
+		ran += n
+		if n < chunk {
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			endStage()
+			return nil, &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: cerr}
+		}
+	}
+	endStage()
+
+	st := core.Stats()
+	est := power.NewEstimator(cfg, r.fc.Lib)
+	est.SetMetrics(r.reg)
+	endStage = r.stage(StageEstimate)
+	rep, err := est.Estimate(st)
+	endStage()
+	if err != nil {
+		return nil, &StageError{Stage: StageEstimate, Workload: w.Name, Config: cfg.Name, Err: err}
+	}
+	return &Result{
+		Workload:      w.Name,
+		Suite:         w.Suite,
+		ConfigName:    cfg.Name,
+		Mode:          "full",
+		TotalInsts:    st.Insts,
+		IntervalSize:  w.IntervalSize,
+		Stats:         st,
+		Power:         rep,
+		Slots:         est.SlotPower(st),
+		DetailedInsts: ran,
+		MeasureWallNS: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// Sweep profiles every named workload once (at the Runner's scale) and
+// evaluates it on every config with the SimPoint flow. Work is spread
+// across the Runner's parallelism — every (workload, config) measurement
+// is independent and deterministic, so results are bit-identical to a
+// serial run regardless of worker count or metrics attachment.
+func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Config) (*Sweep, error) {
+	var noteMu sync.Mutex
+	note := func(format string, args ...interface{}) {
+		noteMu.Lock()
+		r.note(format, args...)
+		noteMu.Unlock()
+	}
+	sw := &Sweep{
+		Flow:     r.fc,
+		Scale:    r.scale,
+		Profiles: map[string]*Profile{},
+		Results:  map[string]map[string]*Result{},
+	}
+	var mu sync.Mutex
+
+	// Phase 1: profile every workload (parallel across workloads).
+	err := r.runTasks(ctx, len(names), func(i int) error {
+		name := names[i]
+		w, err := workloads.Build(name, r.scale)
+		if err != nil {
+			return err
+		}
+		note("profiling %-14s (%s scale)", name, r.scale)
+		p, err := r.Profile(ctx, w)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		sw.Profiles[name] = p
+		mu.Unlock()
+		note("  %-14s %d insts, %d intervals, k=%d, %d simpoints, %.0f%% coverage",
+			name, p.TotalInsts, len(p.Vectors), p.Selection.K, p.NumSimPoints(),
+			100*p.Selection.Coverage)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: measure every (config, workload) pair (parallel).
+	type pair struct {
+		cfg  boom.Config
+		name string
+	}
+	var pairs []pair
+	for _, cfg := range configs {
+		sw.Results[cfg.Name] = map[string]*Result{}
+		for _, name := range names {
+			pairs = append(pairs, pair{cfg, name})
+		}
+	}
+	err = r.runTasks(ctx, len(pairs), func(i int) error {
+		pr := pairs[i]
+		note("measuring %-14s on %s", pr.name, pr.cfg.Name)
+		res, err := r.Run(ctx, sw.Profiles[pr.name], pr.cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		sw.Results[pr.cfg.Name][pr.name] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// runTasks runs do(0..n-1) on a fixed worker pool, recording per-worker
+// busy time and utilization plus task queue-wait into the registry. The
+// first error wins; remaining queued tasks are drained without running.
+func (r *Runner) runTasks(ctx context.Context, n int, do func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := r.par
+	if workers > n {
+		workers = n
+	}
+	type item struct {
+		idx        int
+		enqueuedNS int64
+	}
+	ch := make(chan item, n)
+	start := time.Now()
+	qwait := r.reg.Histogram("core.sweep.queue_wait_ns")
+	tasks := r.reg.Counter("core.sweep.tasks")
+
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	busyNS := make([]int64, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for it := range ch {
+				t0 := time.Now()
+				qwait.Observe(t0.UnixNano() - it.enqueuedNS)
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed || ctx.Err() != nil {
+					continue // drain without running
+				}
+				if err := do(it.idx); err != nil {
+					setErr(err)
+				}
+				tasks.Inc()
+				busyNS[wk] += time.Since(t0).Nanoseconds()
+			}
+		}(wk)
+	}
+	for i := 0; i < n; i++ {
+		ch <- item{i, time.Now().UnixNano()}
+	}
+	close(ch)
+	wg.Wait()
+	if r.reg != nil {
+		wall := time.Since(start).Nanoseconds()
+		for wk := 0; wk < workers; wk++ {
+			r.reg.Counter(fmt.Sprintf("core.sweep.worker.%02d.busy_ns", wk)).Add(busyNS[wk])
+			if wall > 0 {
+				r.reg.Gauge(fmt.Sprintf("core.sweep.worker.%02d.util", wk)).
+					Set(float64(busyNS[wk]) / float64(wall))
+			}
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
+}
+
+// Validate runs both the SimPoint flow and the full detailed model for
+// one workload (built at the Runner's scale) and compares their IPC.
+func (r *Runner) Validate(ctx context.Context, name string, cfg boom.Config) (*Accuracy, error) {
+	w, err := workloads.Build(name, r.scale)
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.Profile(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := r.Run(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := workloads.Build(name, r.scale)
+	if err != nil {
+		return nil, err
+	}
+	full, err := r.RunFull(ctx, w2, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Accuracy{
+		Workload:    name,
+		ConfigName:  cfg.Name,
+		SimPointIPC: sp.IPC(),
+		FullIPC:     full.IPC(),
+	}, nil
+}

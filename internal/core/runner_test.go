@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/boom"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// TestRunnerStageSpans is the end-to-end observability check: every flow
+// stage must emit a non-zero span, and the stage spans must account for
+// (nearly) all of the flow's wall-clock time.
+func TestRunnerStageSpans(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(DefaultFlowConfig(), WithMetrics(reg))
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p, err := r.Profile(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(ctx, p, boom.MediumBOOM())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flow := reg.Span("flow")
+	total := flow.DurationNS()
+	if total <= 0 {
+		t.Fatal("flow span has no duration")
+	}
+	seen := map[string]int64{}
+	var sum int64
+	for _, c := range flow.Children() {
+		d := c.DurationNS()
+		seen[c.Name()] = d
+		sum += d
+	}
+	for _, stage := range Stages() {
+		if seen[stage] <= 0 {
+			t.Errorf("stage span %q missing or zero (%d ns)", stage, seen[stage])
+		}
+	}
+	if frac := float64(sum) / float64(total); frac < 0.85 || frac > 1.02 {
+		t.Errorf("stage spans cover %.1f%% of flow wall-clock (want ~100%%)", 100*frac)
+	}
+
+	// Throughput and stage-adjacent instrumentation must be populated.
+	for _, counter := range []string{
+		"sim.insts", "sim.wall_ns",
+		"boom.retired", "boom.cycles",
+		"power.estimates",
+		"simpoint.kmeans.runs", "simpoint.kmeans.iterations",
+	} {
+		if v := reg.Counter(counter).Value(); v <= 0 {
+			t.Errorf("counter %q = %d, want > 0", counter, v)
+		}
+	}
+	if reg.Histogram("sim.kips").Snapshot().Count == 0 {
+		t.Error("functional KIPS histogram empty")
+	}
+	if reg.Histogram("boom.kips").Snapshot().Count == 0 {
+		t.Error("detailed KIPS histogram empty")
+	}
+	if k := reg.Gauge("simpoint.k").Value(); int(k) != p.Selection.K {
+		t.Errorf("simpoint.k gauge %v, want %d", k, p.Selection.K)
+	}
+
+	// Wall-clock accounting feeding SpeedupReport.
+	if p.WallNS <= 0 {
+		t.Error("Profile.WallNS not measured")
+	}
+	if res.MeasureWallNS <= 0 {
+		t.Error("Result.MeasureWallNS not measured")
+	}
+}
+
+// TestRunnerCancellation: a canceled context must stop the flow at the
+// next interval boundary with a wrapped, stage-identified error.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := New(DefaultFlowConfig())
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Profile(ctx, w); err == nil {
+		t.Fatal("Profile must fail on a canceled context")
+	} else {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+		var se *StageError
+		if !errors.As(err, &se) {
+			t.Errorf("error %T is not a *StageError", err)
+		} else if se.Stage != StageProfile || se.Workload != "sha" {
+			t.Errorf("wrong identity: stage=%q workload=%q", se.Stage, se.Workload)
+		}
+	}
+
+	// Run on an existing profile: canceled between simulation points.
+	p, err := r.Profile(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, p, boom.MediumBOOM()); err == nil {
+		t.Fatal("Run must fail on a canceled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run error %v does not wrap context.Canceled", err)
+	}
+
+	if _, err := r.RunFull(ctx, w, boom.MediumBOOM()); err == nil {
+		t.Fatal("RunFull must fail on a canceled context")
+	}
+	if _, err := r.Sweep(ctx, []string{"sha"}, []boom.Config{boom.MediumBOOM()}); err == nil {
+		t.Fatal("Sweep must fail on a canceled context")
+	}
+}
+
+// TestStageErrorIdentity: flow errors must carry workload+config+stage
+// identity and unwrap to the cause.
+func TestStageErrorIdentity(t *testing.T) {
+	fc := DefaultFlowConfig()
+	fc.SimPoint.Dims = 0 // invalid: surfaces from the select stage
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(fc).Profile(context.Background(), w)
+	if err == nil {
+		t.Fatal("invalid simpoint config must error")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *StageError", err)
+	}
+	if se.Stage != StageSelect || se.Workload != "sha" {
+		t.Errorf("identity stage=%q workload=%q", se.Stage, se.Workload)
+	}
+	if se.Unwrap() == nil {
+		t.Error("StageError must unwrap to its cause")
+	}
+	for _, want := range []string{StageSelect, "sha"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestSweepParallelismBitIdentical: a metrics-instrumented sweep at n=1
+// must be bit-identical to one at n=NumCPU (the determinism contract of
+// WithParallelism).
+func TestSweepParallelismBitIdentical(t *testing.T) {
+	names := []string{"sha", "bitcount"}
+	cfgs := []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}
+	ctx := context.Background()
+
+	serialReg := metrics.NewRegistry()
+	serial, err := New(DefaultFlowConfig(), WithParallelism(1), WithMetrics(serialReg)).
+		Sweep(ctx, names, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReg := metrics.NewRegistry()
+	par, err := New(DefaultFlowConfig(), WithParallelism(runtime.NumCPU()), WithMetrics(parReg)).
+		Sweep(ctx, names, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		for _, n := range names {
+			rs, rp := serial.Results[cfg.Name][n], par.Results[cfg.Name][n]
+			if rs.Stats.Cycles != rp.Stats.Cycles || rs.IPC() != rp.IPC() ||
+				rs.TotalPowerMW() != rp.TotalPowerMW() {
+				t.Errorf("%s/%s differs between n=1 and n=NumCPU", cfg.Name, n)
+			}
+		}
+	}
+	// Scheduling metrics must be recorded in both runs.
+	wantTasks := int64(len(names) + len(names)*len(cfgs))
+	for _, reg := range []*metrics.Registry{serialReg, parReg} {
+		if got := reg.Counter("core.sweep.tasks").Value(); got != wantTasks {
+			t.Errorf("core.sweep.tasks = %d, want %d", got, wantTasks)
+		}
+		if reg.Histogram("core.sweep.queue_wait_ns").Snapshot().Count != wantTasks {
+			t.Error("queue-wait histogram incomplete")
+		}
+		if reg.Counter("core.sweep.worker.00.busy_ns").Value() <= 0 {
+			t.Error("worker 0 busy time not recorded")
+		}
+	}
+}
+
+// TestSpeedupWallClock: the sweep's speedup report must carry measured
+// wall-clock alongside the instruction-count ratio.
+func TestSpeedupWallClock(t *testing.T) {
+	sw, err := New(DefaultFlowConfig()).
+		Sweep(context.Background(), []string{"sha"}, []boom.Config{boom.MediumBOOM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sw.SpeedupOf()
+	if rep.Speedup() <= 0 {
+		t.Error("instruction-count speedup missing")
+	}
+	if rep.ProfileWallNS <= 0 || rep.MeasureWallNS <= 0 {
+		t.Errorf("wall-clock not measured: profile=%d measure=%d",
+			rep.ProfileWallNS, rep.MeasureWallNS)
+	}
+	if rep.WallSpeedup() <= 0 || rep.EstFullWallNS() <= 0 {
+		t.Errorf("wall speedup not derivable: %+v", rep)
+	}
+	if rep.FlowWallNS() != rep.ProfileWallNS+rep.MeasureWallNS {
+		t.Error("FlowWallNS must sum profile and measure wall time")
+	}
+}

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter %d, want %d", got, workers*per)
+	}
+	if reg.Counter("c") != c {
+		t.Error("Counter must return the same instance per name")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < per; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 0 || s.Max != per-1+workers-1 {
+		t.Errorf("min/max %d/%d", s.Min, s.Max)
+	}
+	var want int64
+	for i := int64(0); i < workers; i++ {
+		for j := int64(0); j < per; j++ {
+			want += i + j
+		}
+	}
+	if s.Sum != want {
+		t.Errorf("sum %d, want %d", s.Sum, want)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g")
+	g.Set(3.25)
+	if v := g.Value(); v != 3.25 {
+		t.Fatalf("gauge %v", v)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	var now int64
+	reg := NewRegistryWithClock(func() int64 { now += 1000; return now })
+	root := reg.Span("flow")
+	root.Start()                 // 1000
+	child := root.Child("inner") // no clock read
+	child.Start()                // 2000
+	grand := child.Child("leaf")
+	grand.Start() // 3000
+	grand.End()   // 4000 → 1000ns
+	child.End()   // 5000 → 3000ns
+	child.Start() // 6000
+	child.End()   // 7000 → +1000 = 4000ns
+	root.End()    // 8000 → 7000ns
+
+	if d := root.DurationNS(); d != 7000 {
+		t.Errorf("root %d", d)
+	}
+	if d := child.DurationNS(); d != 4000 || child.Laps() != 2 {
+		t.Errorf("child %dns %d laps", d, child.Laps())
+	}
+	if d := grand.DurationNS(); d != 1000 {
+		t.Errorf("grand %d", d)
+	}
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "inner" {
+		t.Fatalf("children %v", kids)
+	}
+	if reg.Span("flow") != root || root.Child("inner") != child {
+		t.Error("spans must be memoized by name")
+	}
+}
+
+func TestSpanOverlappingLaps(t *testing.T) {
+	// Overlapping Start/End pairs (parallel sweep workers sharing a stage
+	// span) must count wall-clock time with ≥1 active lap exactly once.
+	var now int64
+	reg := NewRegistryWithClock(func() int64 { now += 1; return now })
+	s := reg.Span("stage")
+	s.Start() // t=1 (active 0→1: lap starts)
+	s.Start() // no clock read
+	s.End()   // still active
+	s.End()   // t=2 → 1ns
+	if d := s.DurationNS(); d != 1 {
+		t.Errorf("overlapped duration %d, want 1", d)
+	}
+	if s.Laps() != 1 {
+		t.Errorf("laps %d, want 1", s.Laps())
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Span("flow")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := s.Child("stage")
+				c.Start()
+				c.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.Children()); got != 1 {
+		t.Fatalf("%d children, want 1", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(1)
+	reg.Gauge("x").Set(1)
+	reg.Histogram("x").Observe(1)
+	reg.Time("x")()
+	sp := reg.Span("x")
+	sp.Start()
+	sp.Child("y").End()
+	if sp.DurationNS() != 0 || reg.Counter("x").Value() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if s := reg.Snapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestTime(t *testing.T) {
+	var now int64
+	reg := NewRegistryWithClock(func() int64 { now += 500; return now })
+	stop := reg.Time("op_ns")
+	stop()
+	s := reg.Histogram("op_ns").Snapshot()
+	if s.Count != 1 || s.Sum != 500 {
+		t.Fatalf("timer snapshot %+v", s)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("d").ObserveDuration(3 * time.Millisecond)
+	if s := reg.Histogram("d").Snapshot(); s.Sum != 3_000_000 {
+		t.Fatalf("sum %d", s.Sum)
+	}
+}
+
+// goldenRegistry builds a fixed scenario on a deterministic clock.
+func goldenRegistry() *Registry {
+	var now int64
+	reg := NewRegistryWithClock(func() int64 { now += 1_000_000; return now })
+	reg.Counter("boom.retired").Add(1000)
+	reg.Counter("boom.cycles").Add(2500)
+	reg.Gauge("simpoint.k").Set(4)
+	reg.Gauge("core.sweep.worker.00.util").Set(0.875)
+	h := reg.Histogram("core.sweep.queue_wait_ns")
+	h.Observe(1500)
+	h.Observe(2500)
+	h.Observe(0)
+
+	flow := reg.Span("flow")
+	flow.Start() // 1ms
+	prof := flow.Child("profile")
+	prof.Start() // 2ms
+	prof.End()   // 3ms
+	sel := flow.Child("select")
+	sel.Start() // 4ms
+	sel.End()   // 5ms
+	prof.Start() // 6ms
+	prof.End()   // 7ms
+	flow.End()   // 8ms
+	return reg
+}
+
+func TestRenderGolden(t *testing.T) {
+	for _, tc := range []struct {
+		file  string
+		write func(*Registry, *bytes.Buffer) error
+	}{
+		{"registry.txt", func(r *Registry, b *bytes.Buffer) error { return r.WriteText(b) }},
+		{"registry.json", func(r *Registry, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := tc.write(goldenRegistry(), &buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", tc.file)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/metrics -update` to regenerate)", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", tc.file, buf.Bytes(), want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import "sync"
+
+// Span is one node of a hierarchical wall-clock tracer. A span
+// accumulates time over any number of Start/End laps, so a pipeline stage
+// that runs in disjoint stretches (e.g. per-checkpoint warm-up) still
+// reports one total. Start/End pairs may overlap across goroutines: the
+// span counts wall-clock time during which at least one lap is active,
+// which for serial callers is exactly the elapsed time.
+//
+// All methods are nil-safe no-ops.
+type Span struct {
+	name string
+	now  func() int64
+
+	mu       sync.Mutex
+	children map[string]*Span
+	order    []*Span
+	active   int   // concurrent Start()s not yet End()ed
+	lapStart int64 // clock at the moment active went 0→1
+	durNS    int64 // accumulated across completed laps
+	laps     int64
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child returns the named child span, creating it on first use. The child
+// is not started.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := s.children[name]
+	if c == nil {
+		c = &Span{name: name, now: s.now}
+		if s.children == nil {
+			s.children = map[string]*Span{}
+		}
+		s.children[name] = c
+		s.order = append(s.order, c)
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Start begins a lap. Nested/overlapping Starts are reference-counted.
+func (s *Span) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active == 0 {
+		s.lapStart = s.now()
+	}
+	s.active++
+	s.mu.Unlock()
+}
+
+// End finishes the most recent Start. When the last overlapping lap ends,
+// the elapsed wall-clock time is added to the span's total.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active > 0 {
+		s.active--
+		if s.active == 0 {
+			s.durNS += s.now() - s.lapStart
+			s.laps++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// DurationNS returns the accumulated wall-clock nanoseconds, including
+// the currently running lap if any.
+func (s *Span) DurationNS() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	d := s.durNS
+	if s.active > 0 {
+		d += s.now() - s.lapStart
+	}
+	s.mu.Unlock()
+	return d
+}
+
+// Laps returns the number of completed laps.
+func (s *Span) Laps() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	n := s.laps
+	s.mu.Unlock()
+	return n
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]*Span(nil), s.order...)
+	s.mu.Unlock()
+	return out
+}
+
+// SpanSnapshot is a point-in-time view of a span subtree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	NS       int64          `json:"ns"`
+	Laps     int64          `json:"laps"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the span subtree.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	snap := SpanSnapshot{Name: s.name, NS: s.DurationNS(), Laps: s.Laps()}
+	for _, c := range s.Children() {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}

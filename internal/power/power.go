@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/asap7"
 	"repro/internal/boom"
+	"repro/internal/metrics"
 )
 
 // Breakdown is the three-source power split of one component, in milliwatts
@@ -58,10 +59,16 @@ func (r *Report) AnalyzedMW() float64 {
 // it once per configuration (the "design mapping"/synthesis step of Fig. 1
 // in the paper), then Estimate any number of activity traces.
 type Estimator struct {
-	cfg boom.Config
-	lib asap7.Library
-	inv [boom.NumComponents]inventory
+	cfg     boom.Config
+	lib     asap7.Library
+	inv     [boom.NumComponents]inventory
+	metrics *metrics.Registry // optional; nil disables instrumentation
 }
+
+// SetMetrics attaches an optional metrics registry: every Estimate call is
+// counted and timed ("power.estimates", "power.estimate_ns"). A nil
+// registry (the default) disables instrumentation.
+func (e *Estimator) SetMetrics(reg *metrics.Registry) { e.metrics = reg }
 
 // inventory is the mapped cell content of one component plus its calibrated
 // per-event energies.
@@ -285,6 +292,10 @@ func (e *Estimator) Library() asap7.Library { return e.lib }
 // Estimate converts a run's activity into per-component power. stats.Cycles
 // must be non-zero.
 func (e *Estimator) Estimate(stats *boom.Stats) (*Report, error) {
+	if e.metrics != nil {
+		e.metrics.Counter("power.estimates").Inc()
+		defer e.metrics.Time("power.estimate_ns")()
+	}
 	if stats.Cycles == 0 {
 		return nil, fmt.Errorf("power: zero-cycle stats")
 	}

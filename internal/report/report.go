@@ -329,6 +329,17 @@ func SpeedupTable(sw *core.Sweep) *Table {
 	t.Rows = append(t.Rows, []string{
 		"TOTAL", fmt.Sprint(full), fmt.Sprint(det), fmt.Sprintf("%.1f×", float64(full)/float64(det)),
 	})
+	// Measured wall-clock speedup (flow profiling + detailed measurement vs
+	// an estimated full detailed simulation at the measured per-instruction
+	// cost) — the time-based evidence behind the instruction-count ratio.
+	if rep := sw.SpeedupOf(); rep.WallSpeedup() > 0 {
+		t.Rows = append(t.Rows, []string{
+			"TOTAL wall-clock",
+			fmt.Sprintf("%.0f ms (est. full)", float64(rep.EstFullWallNS())/1e6),
+			fmt.Sprintf("%.0f ms (measured)", float64(rep.FlowWallNS())/1e6),
+			fmt.Sprintf("%.1f×", rep.WallSpeedup()),
+		})
+	}
 	return t
 }
 

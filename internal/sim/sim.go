@@ -7,9 +7,11 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/rv64"
 )
 
@@ -46,6 +48,23 @@ type CPU struct {
 	textBase uint64
 	decoded  []rv64.Inst
 	valid    []bool
+
+	metrics *metrics.Registry // optional; nil disables instrumentation
+}
+
+// SetMetrics attaches an optional metrics registry: every Run/RunTrace
+// records retired instructions, wall time, and functional-simulation
+// throughput (KIPS). A nil registry (the default) disables instrumentation.
+func (c *CPU) SetMetrics(reg *metrics.Registry) { c.metrics = reg }
+
+// recordRun publishes one Run/RunTrace call's throughput.
+func (c *CPU) recordRun(t0 time.Time, n int64) {
+	wall := time.Since(t0)
+	c.metrics.Counter("sim.insts").Add(n)
+	c.metrics.Counter("sim.wall_ns").Add(wall.Nanoseconds())
+	if s := wall.Seconds(); s > 0 && n > 0 {
+		c.metrics.Histogram("sim.kips").Observe(int64(float64(n) / s / 1000))
+	}
 }
 
 // New returns a CPU with fresh memory and the stack pointer initialized.
@@ -123,8 +142,11 @@ func (c *CPU) Step(r *Retired) error {
 
 // Run executes up to max instructions (or until halt when max < 0) and
 // returns the number retired.
-func (c *CPU) Run(max int64) (int64, error) {
-	var n int64
+func (c *CPU) Run(max int64) (n int64, err error) {
+	if c.metrics != nil {
+		t0 := time.Now()
+		defer func() { c.recordRun(t0, n) }()
+	}
 	for !c.Halted && (max < 0 || n < max) {
 		if err := c.Step(nil); err != nil {
 			return n, err
@@ -136,8 +158,11 @@ func (c *CPU) Run(max int64) (int64, error) {
 
 // RunTrace is Run with a callback per retired instruction. The callback
 // receives a reused Retired record; it must not retain the pointer.
-func (c *CPU) RunTrace(max int64, fn func(*Retired)) (int64, error) {
-	var n int64
+func (c *CPU) RunTrace(max int64, fn func(*Retired)) (n int64, err error) {
+	if c.metrics != nil {
+		t0 := time.Now()
+		defer func() { c.recordRun(t0, n) }()
+	}
 	var r Retired
 	for !c.Halted && (max < 0 || n < max) {
 		if err := c.Step(&r); err != nil {

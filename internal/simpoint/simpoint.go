@@ -47,13 +47,23 @@ type Point struct {
 	Weight   float64 // fraction of all intervals in that cluster
 }
 
+// ClusterStats summarizes the k-means work behind a selection — the
+// convergence accounting the flow's observability layer reports.
+type ClusterStats struct {
+	KTried     int  // number of k values attempted
+	Runs       int  // total k-means runs (k values × restarts)
+	Iterations int  // total Lloyd iterations across every run
+	Converged  bool // the chosen k's best run converged before MaxIters
+}
+
 // Result is the outcome of SimPoint selection.
 type Result struct {
-	K           int     // chosen number of clusters
-	Assignments []int   // interval → cluster
-	Points      []Point // all representatives, ranked by weight (descending)
-	Selected    []Point // top-ranked points reaching the coverage target
-	Coverage    float64 // cumulative weight of Selected
+	K           int          // chosen number of clusters
+	Assignments []int        // interval → cluster
+	Points      []Point      // all representatives, ranked by weight (descending)
+	Selected    []Point      // top-ranked points reaching the coverage target
+	Coverage    float64      // cumulative weight of Selected
+	Stats       ClusterStats // k-means iteration/convergence accounting
 }
 
 // Choose runs the full SimPoint pipeline on the per-interval BBVs.
@@ -76,16 +86,20 @@ func Choose(vectors []bbv.Vector, cfg Config) (*Result, error) {
 		maxK = 1
 	}
 	type attempt struct {
-		k       int
-		assign  []int
-		centers [][]float64
-		bic     float64
+		k         int
+		assign    []int
+		centers   [][]float64
+		bic       float64
+		converged bool
 	}
+	stats := ClusterStats{KTried: maxK}
 	attempts := make([]attempt, 0, maxK)
 	rng := newRNG(cfg.Seed)
 	for k := 1; k <= maxK; k++ {
-		assign, centers, rss := kmeansBest(pts, k, cfg.Restarts, cfg.MaxIters, rng)
-		attempts = append(attempts, attempt{k, assign, centers, bic(pts, assign, k, rss)})
+		assign, centers, rss, iters, conv := kmeansBest(pts, k, cfg.Restarts, cfg.MaxIters, rng)
+		stats.Runs += cfg.Restarts
+		stats.Iterations += iters
+		attempts = append(attempts, attempt{k, assign, centers, bic(pts, assign, k, rss), conv})
 	}
 	minBIC, maxBIC := math.Inf(1), math.Inf(-1)
 	for _, a := range attempts {
@@ -105,7 +119,8 @@ func Choose(vectors []bbv.Vector, cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{K: best.k, Assignments: best.assign}
+	stats.Converged = best.converged
+	res := &Result{K: best.k, Assignments: best.assign, Stats: stats}
 	// Representative per cluster: interval closest to the centroid.
 	counts := make([]int, best.k)
 	repIdx := make([]int, best.k)
@@ -212,23 +227,29 @@ func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
 
 // kmeansBest runs k-means `restarts` times and keeps the lowest-RSS run.
-func kmeansBest(pts [][]float64, k, restarts, maxIters int, rng *rng) (assign []int, centers [][]float64, rss float64) {
+// It also reports the total Lloyd iterations across every restart and
+// whether the kept run converged before the iteration cap.
+func kmeansBest(pts [][]float64, k, restarts, maxIters int, rng *rng) (assign []int, centers [][]float64, rss float64, totalIters int, converged bool) {
 	rss = math.Inf(1)
 	for r := 0; r < restarts; r++ {
-		a, c, s := kmeans(pts, k, maxIters, rng)
+		a, c, s, it, conv := kmeans(pts, k, maxIters, rng)
+		totalIters += it
 		if s < rss {
-			assign, centers, rss = a, c, s
+			assign, centers, rss, converged = a, c, s, conv
 		}
 	}
-	return assign, centers, rss
+	return assign, centers, rss, totalIters, converged
 }
 
 // kmeans is Lloyd's algorithm with k-means++ seeding.
-func kmeans(pts [][]float64, k, maxIters int, rng *rng) ([]int, [][]float64, float64) {
+func kmeans(pts [][]float64, k, maxIters int, rng *rng) ([]int, [][]float64, float64, int, bool) {
 	n, dims := len(pts), len(pts[0])
 	centers := initPP(pts, k, rng)
 	assign := make([]int, n)
+	iters := 0
+	converged := false
 	for iter := 0; iter < maxIters; iter++ {
+		iters++
 		changed := false
 		for i, p := range pts {
 			best, bestD := 0, math.Inf(1)
@@ -243,6 +264,7 @@ func kmeans(pts [][]float64, k, maxIters int, rng *rng) ([]int, [][]float64, flo
 			}
 		}
 		if !changed && iter > 0 {
+			converged = true
 			break
 		}
 		// Recompute centroids.
@@ -275,7 +297,7 @@ func kmeans(pts [][]float64, k, maxIters int, rng *rng) ([]int, [][]float64, flo
 	for i, p := range pts {
 		rss += sqDist(p, centers[assign[i]])
 	}
-	return assign, centers, rss
+	return assign, centers, rss, iters, converged
 }
 
 // initPP is k-means++ initialization.

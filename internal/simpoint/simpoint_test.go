@@ -196,7 +196,7 @@ func TestKMeansPerfectSeparationRSSZero(t *testing.T) {
 	// Two exactly repeated points — RSS must be ~0 with k=2.
 	pts := [][]float64{{0, 0}, {0, 0}, {10, 10}, {10, 10}}
 	rng := newRNG(7)
-	_, _, rss := kmeansBest(pts, 2, 5, 50, rng)
+	_, _, rss, _, _ := kmeansBest(pts, 2, 5, 50, rng)
 	if rss > 1e-18 {
 		t.Fatalf("rss = %v", rss)
 	}

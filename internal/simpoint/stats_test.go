@@ -1,0 +1,40 @@
+package simpoint
+
+import (
+	"testing"
+
+	"repro/internal/bbv"
+)
+
+// TestClusterStats: Choose must account for every k-means run and report
+// convergence of the chosen clustering.
+func TestClusterStats(t *testing.T) {
+	// Three clearly separated phases, several intervals each.
+	var vectors []bbv.Vector
+	for phase := 0; phase < 3; phase++ {
+		for i := 0; i < 8; i++ {
+			v := bbv.Vector{phase*100 + 1: 50, phase*100 + 2: 50}
+			vectors = append(vectors, v)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxK = 5
+	res, err := Choose(vectors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.KTried != 5 {
+		t.Errorf("KTried %d, want 5", st.KTried)
+	}
+	if want := cfg.Restarts * st.KTried; st.Runs != want {
+		t.Errorf("Runs %d, want %d", st.Runs, want)
+	}
+	// Every run iterates at least once, so iterations ≥ runs.
+	if st.Iterations < st.Runs {
+		t.Errorf("Iterations %d < Runs %d", st.Iterations, st.Runs)
+	}
+	if !st.Converged {
+		t.Error("trivially separable data must converge before MaxIters")
+	}
+}
