@@ -1,9 +1,10 @@
 # Build/verify entry points. `make check` is the CI tier that keeps the
-# concurrent metrics/runner code race-clean on every change.
+# concurrent metrics/runner code race-clean, smokes the fuzz targets, and
+# proves the artifact cache round-trips byte-identically on every change.
 
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip check
 
 build:
 	$(GO) build ./...
@@ -15,8 +16,25 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: the packages with new concurrent code (metrics registry,
-# Runner worker pool) must stay race-clean.
+# Runner worker pool, artifact cache) must stay race-clean.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact
 
-check: vet race
+# Fuzz smoke: a few seconds per target on top of the committed seed
+# corpora (go accepts one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseBBV -fuzztime 5s ./internal/bbv
+	$(GO) test -run '^$$' -fuzz FuzzParseSimPoints -fuzztime 5s ./internal/simpoint
+	$(GO) test -run '^$$' -fuzz FuzzArtifactKey -fuzztime 5s ./internal/artifact
+
+# Cache round-trip: cold run populates the cache, warm run must reproduce
+# the report byte for byte (cmp) straight from the artifacts.
+cache-roundtrip:
+	rm -rf .cache-check
+	mkdir -p .cache-check
+	$(GO) run ./cmd/tables -scale tiny -q -cache .cache-check > .cache-check/cold.txt
+	$(GO) run ./cmd/tables -scale tiny -q -cache .cache-check > .cache-check/warm.txt
+	cmp .cache-check/cold.txt .cache-check/warm.txt
+	rm -rf .cache-check
+
+check: vet race fuzz-smoke cache-roundtrip

@@ -12,6 +12,10 @@
 //
 //	go run ./cmd/boomflow -bench sha -metrics json -metrics-out sha.json
 //	go run ./cmd/boomflow -bench sha -cpuprofile cpu.pprof
+//
+// -cache DIR serves every pipeline stage from a content-addressed
+// artifact cache (bit-identical results, cold or warm); -cache-verify
+// recomputes each hit and fails on divergence.
 package main
 
 import (
@@ -42,6 +46,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "-", "metrics destination (- = stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
 	flag.Parse()
 
 	if *list {
@@ -101,6 +107,11 @@ func main() {
 
 	var reg *metrics.Registry
 	opts := []core.Option{core.WithScale(scale)}
+	if *cacheDir != "" {
+		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
+	} else if *cacheVerify {
+		fatal(fmt.Errorf("-cache-verify requires -cache DIR"))
+	}
 	switch *metricsMode {
 	case "":
 	case "text", "json":

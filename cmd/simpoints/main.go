@@ -24,6 +24,8 @@ func main() {
 	bench := flag.String("bench", "sha", "workload name")
 	scaleFlag := flag.String("scale", "default", "tiny|default|paper")
 	out := flag.String("out", "", "directory to write serialized checkpoints")
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
 	flag.Parse()
 
 	var scale workloads.Scale
@@ -43,7 +45,13 @@ func main() {
 		fatal(err)
 	}
 	fc := core.FlowConfigFor(scale)
-	runner := core.New(fc, core.WithScale(scale))
+	opts := []core.Option{core.WithScale(scale)}
+	if *cacheDir != "" {
+		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
+	} else if *cacheVerify {
+		fatal(fmt.Errorf("-cache-verify requires -cache DIR"))
+	}
+	runner := core.New(fc, opts...)
 	p, err := runner.Profile(context.Background(), w)
 	if err != nil {
 		fatal(err)

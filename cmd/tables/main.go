@@ -5,12 +5,20 @@
 //	go run ./cmd/tables -scale tiny     # quick look
 //	go run ./cmd/tables -only fig10     # one artifact
 //	go run ./cmd/tables -csv -out data  # write CSV files for plotting
+//	go run ./cmd/tables -cache .cache   # reuse artifacts across runs
+//
+// With -cache DIR, every pipeline stage (BBV profile, SimPoint selection,
+// checkpoints, measurements) is served from a content-addressed artifact
+// cache; a warm-cache rerun skips straight to report generation and its
+// output is byte-identical to the cold run. -cache-verify recomputes each
+// hit and fails on divergence.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,24 +31,39 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "default", "workload scale: tiny|default|paper")
-	only := flag.String("only", "", "render only one artifact: table1,table2,fig5..fig11,speedup,phases,sources,takeaways")
-	csv := flag.Bool("csv", false, "write CSV files instead of text tables")
-	out := flag.String("out", ".", "output directory for -csv")
-	quiet := flag.Bool("q", false, "suppress progress output")
-	jobs := flag.Int("j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
-	metricsMode := flag.String("metrics", "", "emit sweep metrics after the tables: text|json")
-	metricsOut := flag.String("metrics-out", "-", "metrics destination (- = stdout)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process boundary, so tests can drive the full
+// command (golden output, cache round-trips) in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "default", "workload scale: tiny|default|paper")
+	only := fs.String("only", "", "render only one artifact: table1,table2,fig5..fig11,speedup,phases,sources,takeaways")
+	csv := fs.Bool("csv", false, "write CSV files instead of text tables")
+	out := fs.String("out", ".", "output directory for -csv")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	jobs := fs.Int("j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
+	metricsMode := fs.String("metrics", "", "emit sweep metrics after the tables: text|json")
+	metricsOut := fs.String("metrics-out", "-", "metrics destination (- = stdout)")
+	cacheDir := fs.String("cache", "", "artifact cache directory (empty = no caching)")
+	cacheVerify := fs.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var progress func(string)
 	if !*quiet {
-		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
 	configs := boom.Configs()
@@ -49,6 +72,11 @@ func main() {
 	if *jobs > 0 {
 		opts = append(opts, core.WithParallelism(*jobs))
 	}
+	if *cacheDir != "" {
+		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
+	} else if *cacheVerify {
+		return fmt.Errorf("-cache-verify requires -cache DIR")
+	}
 	var reg *metrics.Registry
 	switch *metricsMode {
 	case "":
@@ -56,11 +84,11 @@ func main() {
 		reg = metrics.NewRegistry()
 		opts = append(opts, core.WithMetrics(reg))
 	default:
-		fatal(fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode))
+		return fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode)
 	}
 	sw, err := core.New(fc, opts...).Sweep(context.Background(), workloads.Names(), configs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	artifacts := []struct {
@@ -82,7 +110,7 @@ func main() {
 	}
 	if *only == "" || strings.EqualFold(*only, "takeaways") {
 		if !*csv {
-			fmt.Println(report.Takeaways(sw))
+			fmt.Fprintln(stdout, report.Takeaways(sw))
 		}
 	}
 	for _, a := range artifacts {
@@ -92,20 +120,20 @@ func main() {
 		if *csv {
 			path := filepath.Join(*out, a.key+".csv")
 			if err := os.WriteFile(path, []byte(a.t.CSV()), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		} else {
-			fmt.Println(a.t.Render())
+			fmt.Fprintln(stdout, a.t.Render())
 		}
 	}
 
 	if reg != nil {
-		dst := os.Stdout
+		dst := stdout
 		if *metricsOut != "-" && *metricsOut != "" {
 			f, err := os.Create(*metricsOut)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer f.Close()
 			dst = f
@@ -116,9 +144,10 @@ func main() {
 			err = reg.WriteText(dst)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -131,9 +160,4 @@ func parseScale(s string) (workloads.Scale, error) {
 		return workloads.ScalePaper, nil
 	}
 	return 0, fmt.Errorf("unknown scale %q (tiny|default|paper)", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tables:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var spaceRun = regexp.MustCompile(" {2,}")
+
+// normalize canonicalizes the one nondeterministic region of the report.
+// The speedup table times the real sweep, so its "TOTAL wall-clock" row —
+// and the column widths every row of that table inherits from it — vary
+// run to run. Within that block only, space runs are squashed, dash rules
+// shortened, and the wall-clock row replaced by a placeholder. Everything
+// else must match byte for byte.
+func normalize(s string) string {
+	lines := strings.Split(s, "\n")
+	in := false
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "SimPoint speedup"):
+			in = true
+			continue
+		case in && strings.TrimSpace(line) == "":
+			in = false
+			continue
+		case !in:
+			continue
+		}
+		if strings.HasPrefix(line, "TOTAL wall-clock") {
+			lines[i] = "TOTAL wall-clock <varies>"
+			continue
+		}
+		if t := strings.TrimRight(line, "-"); t == "" && line != "" {
+			lines[i] = "---"
+			continue
+		}
+		lines[i] = strings.TrimRight(spaceRun.ReplaceAllString(line, " "), " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// firstDiff reports the first line where two outputs diverge.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  got  %q\n  want %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(la), len(lb))
+}
+
+// TestGoldenTinyOutput pins the full tiny-scale report against a golden
+// file. Regenerate with: go test ./cmd/tables -run TestGoldenTinyOutput -update
+func TestGoldenTinyOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "tiny", "-q"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := normalize(buf.String())
+	golden := filepath.Join("testdata", "tiny_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("tiny report drifted from golden file (regenerate with -update if intended)\n%s",
+			firstDiff(got, string(want)))
+	}
+}
+
+// TestCacheRoundTrip is the command-level byte-identity claim: a warm-cache
+// rerun must reproduce the cold run's stdout exactly — including the
+// wall-clock speedup row, whose costs are restored from the cache.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scale", "tiny", "-q", "-cache", dir}
+	var cold, warm bytes.Buffer
+	if err := run(args, &cold, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &warm, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm-cache output is not byte-identical to cold\n%s",
+			firstDiff(warm.String(), cold.String()))
+	}
+}
+
+// TestCacheVerifyRequiresDir: -cache-verify alone is a usage error, not a
+// silent no-op.
+func TestCacheVerifyRequiresDir(t *testing.T) {
+	err := run([]string{"-cache-verify"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-cache") {
+		t.Fatalf("want a usage error mentioning -cache, got %v", err)
+	}
+}

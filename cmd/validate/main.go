@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math"
 	"os"
@@ -30,6 +31,14 @@ func check(name string, ok bool, detail string) {
 }
 
 func main() {
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
+	flag.Parse()
+	if *cacheVerify && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "validate: -cache-verify requires -cache DIR")
+		os.Exit(1)
+	}
+
 	// 1. Workload checksums: assembler + functional simulator + kernels.
 	for _, name := range workloads.Names() {
 		w, err := workloads.Build(name, workloads.ScaleTiny)
@@ -53,7 +62,11 @@ func main() {
 
 	// 2. SimPoint flow accuracy on one workload.
 	fc := core.DefaultFlowConfig()
-	runner := core.New(fc, core.WithScale(workloads.ScaleTiny))
+	opts := []core.Option{core.WithScale(workloads.ScaleTiny)}
+	if *cacheDir != "" {
+		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
+	}
+	runner := core.New(fc, opts...)
 	ctx := context.Background()
 	acc, err := runner.Validate(ctx, "bitcount", boom.LargeBOOM())
 	if err != nil {

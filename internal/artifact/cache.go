@@ -1,0 +1,200 @@
+// Package artifact implements the content-addressed, on-disk artifact
+// cache behind the SimPoint pipeline. Every pipeline stage (BBV profiling,
+// SimPoint selection, checkpoint creation, detailed measurement) keys its
+// output by a SHA-256 over a canonical encoding of the stage's inputs —
+// workload identity and generator parameters, BOOM configuration, interval
+// size, warm-up length, technology library, and a per-stage schema version
+// — so bit-identical inputs hit a prior run's artifact instead of
+// recomputing it. The paper's whole argument is avoiding redundant
+// simulation; this cache extends that economy across process boundaries.
+//
+// Entries are written atomically (temp file + rename) and self-verify on
+// read: a corrupted, truncated, or schema-version-mismatched entry is
+// evicted and reported as a miss, never returned. Hit/miss/evict/write
+// counters register in an optional internal/metrics registry.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// entryMagic identifies an artifact file ("RVARTFC1").
+const entryMagic = 0x52564152_54464331
+
+// headerSize is the fixed prefix before the payload: magic, version,
+// costNS, payload length, then a SHA-256 over (version, costNS, length,
+// payload) so corruption anywhere in the entry — metadata included — is
+// detected.
+const headerSize = 8 + 8 + 8 + 8 + sha256.Size
+
+// maxPayload bounds a single artifact (defense against corrupt headers).
+const maxPayload = 1 << 32
+
+// Cache is a content-addressed artifact store rooted at one directory.
+// The zero value is not usable; call Open. A Cache is safe for concurrent
+// use: entries are immutable once renamed into place, and concurrent
+// writers of the same key converge on identical content.
+type Cache struct {
+	dir string
+	reg *metrics.Registry // optional; nil disables instrumentation
+}
+
+// Open returns a cache rooted at dir. The directory is created lazily on
+// first write, so Open itself never touches the filesystem and never
+// fails; a missing or empty directory simply misses every lookup.
+func Open(dir string) *Cache { return &Cache{dir: dir} }
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// SetMetrics attaches a metrics registry. Counters: "artifact.hit",
+// "artifact.miss", "artifact.evict", "artifact.put", "artifact.put_bytes",
+// "artifact.saved_ns" (compute time short-circuited by hits), plus
+// per-stage "artifact.<stage>.hit" / "artifact.<stage>.miss". A nil
+// registry (the default) disables instrumentation.
+func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
+
+func (c *Cache) count(name string) {
+	if c.reg != nil {
+		c.reg.Counter(name).Inc()
+	}
+}
+
+// path returns the entry file for a key: <dir>/<stage>/<hh>/<hex>.v<N>.
+// The schema version is part of the file name, so entries written under an
+// older schema are never even opened after a version bump.
+func (c *Cache) path(k Key) string {
+	hex := k.Hex()
+	return filepath.Join(c.dir, k.Stage, hex[:2], fmt.Sprintf("%s.v%d", hex[2:], k.Version))
+}
+
+// Get looks up an artifact. On a hit it returns the payload and the
+// compute cost (in nanoseconds) recorded when the artifact was written —
+// the wall-clock the hit just saved, which callers reuse to keep cached
+// and uncached runs report-identical. Corrupted or version-mismatched
+// entries are evicted and reported as a miss.
+func (c *Cache) Get(k Key) (payload []byte, costNS int64, ok bool) {
+	miss := func() ([]byte, int64, bool) {
+		c.count("artifact.miss")
+		c.count("artifact." + k.Stage + ".miss")
+		return nil, 0, false
+	}
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return miss()
+	}
+	payload, costNS, err = decodeEntry(data, k.Version)
+	if err != nil {
+		// Corrupt or mismatched: evict so the slot heals on the next write.
+		os.Remove(c.path(k))
+		c.count("artifact.evict")
+		return miss()
+	}
+	c.count("artifact.hit")
+	c.count("artifact." + k.Stage + ".hit")
+	if c.reg != nil {
+		c.reg.Counter("artifact.saved_ns").Add(costNS)
+	}
+	return payload, costNS, true
+}
+
+// Put stores an artifact atomically: the entry is written to a temp file
+// in the cache root and renamed into place, so readers only ever observe
+// complete entries. costNS records how long the payload took to compute.
+func (c *Cache) Put(k Key, payload []byte, costNS int64) error {
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(encodeEntry(payload, k.Version, costNS))
+	cerr := tmp.Close()
+	if werr != nil {
+		return fmt.Errorf("artifact: writing %s: %w", k, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("artifact: writing %s: %w", k, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	c.count("artifact.put")
+	if c.reg != nil {
+		c.reg.Counter("artifact.put_bytes").Add(int64(len(payload)))
+	}
+	return nil
+}
+
+// Entries walks the cache and reports the number of artifact files and
+// their total byte size (diagnostics and tests).
+func (c *Cache) Entries() (n int, bytes int64, err error) {
+	err = filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		n++
+		bytes += info.Size()
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	return n, bytes, err
+}
+
+func encodeEntry(payload []byte, version int, costNS int64) []byte {
+	out := make([]byte, headerSize+len(payload))
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], entryMagic)
+	le.PutUint64(out[8:], uint64(version))
+	le.PutUint64(out[16:], uint64(costNS))
+	le.PutUint64(out[24:], uint64(len(payload)))
+	h := sha256.New()
+	h.Write(out[8:32]) // version, costNS, payload length
+	h.Write(payload)
+	copy(out[32:], h.Sum(nil))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+func decodeEntry(data []byte, version int) (payload []byte, costNS int64, err error) {
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("artifact: entry truncated (%d bytes)", len(data))
+	}
+	le := binary.LittleEndian
+	if m := le.Uint64(data[0:]); m != entryMagic {
+		return nil, 0, fmt.Errorf("artifact: bad magic %#x", m)
+	}
+	if v := le.Uint64(data[8:]); v != uint64(version) {
+		return nil, 0, fmt.Errorf("artifact: schema version %d, want %d", v, version)
+	}
+	costNS = int64(le.Uint64(data[16:]))
+	n := le.Uint64(data[24:])
+	if n > maxPayload || int(n) != len(data)-headerSize {
+		return nil, 0, fmt.Errorf("artifact: payload length %d vs %d bytes on disk", n, len(data)-headerSize)
+	}
+	payload = data[headerSize:]
+	h := sha256.New()
+	h.Write(data[8:32])
+	h.Write(payload)
+	if !bytes.Equal(h.Sum(nil), data[32:32+sha256.Size]) {
+		return nil, 0, fmt.Errorf("artifact: entry checksum mismatch")
+	}
+	return payload, costNS, nil
+}

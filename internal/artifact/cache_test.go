@@ -1,0 +1,232 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func testKey(t *testing.T, version int, payloadSeed string) Key {
+	t.Helper()
+	return NewKey("stage", version, struct {
+		Workload string
+		Width    int
+	}{payloadSeed, 4})
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := Open(t.TempDir())
+	k := testKey(t, 1, "sha")
+	payload := []byte("the artifact payload")
+
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(k, payload, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got, cost, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload changed: %q", got)
+	}
+	if cost != 12345 {
+		t.Fatalf("costNS %d, want 12345", cost)
+	}
+	n, size, err := c.Entries()
+	if err != nil || n != 1 || size <= int64(len(payload)) {
+		t.Fatalf("Entries() = %d, %d, %v", n, size, err)
+	}
+}
+
+func TestCacheEmptyPayload(t *testing.T) {
+	c := Open(t.TempDir())
+	k := testKey(t, 1, "empty")
+	if err := c.Put(k, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := c.Get(k)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload round-trip: %q, %v", got, ok)
+	}
+}
+
+func TestCacheOverwriteConverges(t *testing.T) {
+	c := Open(t.TempDir())
+	k := testKey(t, 1, "sha")
+	if err := c.Put(k, []byte("first"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, []byte("first"), 99); err != nil {
+		t.Fatal(err)
+	}
+	got, cost, ok := c.Get(k)
+	if !ok || string(got) != "first" || cost != 99 {
+		t.Fatalf("after overwrite: %q, %d, %v", got, cost, ok)
+	}
+	if n, _, _ := c.Entries(); n != 1 {
+		t.Fatalf("overwrite left %d entries", n)
+	}
+}
+
+// corrupt flips one byte at off (negative = from the end) in k's file.
+func corrupt(t *testing.T, c *Cache, k Key, off int) {
+	t.Helper()
+	path := c.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(data)
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheCorruptionIsMissAndEvicts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		off  int // byte to flip
+	}{
+		{"magic", 0},
+		{"cost", 16},
+		{"length", 24},
+		{"checksum", 32},
+		{"payload", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			c := Open(t.TempDir())
+			c.SetMetrics(reg)
+			k := testKey(t, 1, "sha")
+			if err := c.Put(k, []byte("payload bytes"), 7); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, c, k, tc.off)
+			if _, _, ok := c.Get(k); ok {
+				t.Fatal("corrupted entry returned as a hit")
+			}
+			if _, err := os.Stat(c.path(k)); !os.IsNotExist(err) {
+				t.Fatalf("corrupted entry not evicted: %v", err)
+			}
+			if n := reg.Counter("artifact.evict").Value(); n != 1 {
+				t.Fatalf("evict counter = %d, want 1", n)
+			}
+			// A well-formed rewrite heals the slot.
+			if err := c.Put(k, []byte("payload bytes"), 7); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := c.Get(k); !ok {
+				t.Fatal("miss after healing rewrite")
+			}
+		})
+	}
+}
+
+func TestCacheTruncatedEntryIsMiss(t *testing.T) {
+	c := Open(t.TempDir())
+	k := testKey(t, 1, "sha")
+	if err := c.Put(k, []byte("0123456789"), 7); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(k)
+	data, _ := os.ReadFile(path)
+	for _, n := range []int{0, headerSize - 1, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := c.Get(k); ok {
+			t.Fatalf("truncated entry (%d bytes) returned as a hit", n)
+		}
+	}
+}
+
+func TestCacheSchemaVersionMismatchIsMiss(t *testing.T) {
+	c := Open(t.TempDir())
+	k1 := testKey(t, 1, "sha")
+	k2 := testKey(t, 2, "sha")
+	if err := c.Put(k1, []byte("v1 artifact"), 7); err != nil {
+		t.Fatal(err)
+	}
+	// A bumped schema version must never read the old entry — different
+	// key, different file.
+	if _, _, ok := c.Get(k2); ok {
+		t.Fatal("v2 key hit a v1 entry")
+	}
+	// And an on-disk entry whose header version disagrees with its file
+	// name (e.g. hand-edited) is rejected by the self-check too.
+	bad := encodeEntry([]byte("payload"), 99, 1)
+	if err := os.WriteFile(c.path(k1), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(k1); ok {
+		t.Fatal("entry with mismatched header version returned as a hit")
+	}
+}
+
+func TestCacheMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := Open(t.TempDir())
+	c.SetMetrics(reg)
+	k := testKey(t, 1, "sha")
+	c.Get(k)
+	if err := c.Put(k, []byte("p"), 50); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(k)
+	c.Get(k)
+	for name, want := range map[string]int64{
+		"artifact.miss":       1,
+		"artifact.stage.miss": 1,
+		"artifact.hit":        2,
+		"artifact.stage.hit":  2,
+		"artifact.put":        1,
+		"artifact.put_bytes":  1,
+		"artifact.saved_ns":   100,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCachePutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c := Open(dir)
+	k := testKey(t, 1, "sha")
+	if err := c.Put(k, []byte("payload"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings survive a completed Put.
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(c.path(k)), ".tmp-*"))
+	if err != nil || len(matches) != 0 {
+		t.Fatalf("leftover temp files: %v (%v)", matches, err)
+	}
+}
+
+func TestCacheConcurrentSameKey(t *testing.T) {
+	c := Open(t.TempDir())
+	k := testKey(t, 1, "sha")
+	payload := bytes.Repeat([]byte("deterministic"), 1000)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- c.Put(k, payload, 5) }()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("concurrent writers corrupted the entry")
+	}
+}

@@ -1,0 +1,150 @@
+package artifact
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeyDeterministicAcrossMapOrder(t *testing.T) {
+	// Maps hash by sorted canonical key, so insertion order and Go's
+	// randomized iteration order must never leak into the fingerprint.
+	build := func(reverse bool) map[string]int {
+		m := map[string]int{}
+		n := 64
+		for i := 0; i < n; i++ {
+			idx := i
+			if reverse {
+				idx = n - 1 - i
+			}
+			m[string(rune('a'+idx%26))+string(rune('0'+idx%10))] = idx
+		}
+		return m
+	}
+	type in struct{ M map[string]int }
+	k1 := NewKey("s", 1, in{build(false)})
+	for i := 0; i < 20; i++ {
+		if k2 := NewKey("s", 1, in{build(true)}); k1 != k2 {
+			t.Fatalf("map iteration order leaked into key: %s vs %s", k1, k2)
+		}
+	}
+}
+
+func TestKeySeparatesStageVersionAndFields(t *testing.T) {
+	type cfg struct {
+		A string
+		B string
+		N int
+	}
+	base := NewKey("bbv", 1, cfg{"ab", "", 3})
+	distinct := []Key{
+		NewKey("select", 1, cfg{"ab", "", 3}),  // stage
+		NewKey("bbv", 2, cfg{"ab", "", 3}),     // schema version
+		NewKey("bbv", 1, cfg{"a", "b", 3}),     // field boundary: "ab"+"" vs "a"+"b"
+		NewKey("bbv", 1, cfg{"ab", "", 4}),     // value
+		NewKey("bbv", 1, struct{ A, B, N int }{0, 0, 3}), // field types
+	}
+	seen := map[Key]string{base: "base"}
+	for i, k := range distinct {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %s", i, prev)
+		}
+		seen[k] = "variant"
+	}
+}
+
+func TestKeyNilVersusEmpty(t *testing.T) {
+	type in struct {
+		S []byte
+		M map[string]int
+	}
+	a := NewKey("s", 1, in{nil, nil})
+	b := NewKey("s", 1, in{[]byte{}, map[string]int{}})
+	if a == b {
+		t.Fatal("nil and empty aggregates collide")
+	}
+}
+
+func TestKeyIntUintFloatTagged(t *testing.T) {
+	// 1 as int, uint and float64 must all fingerprint differently: the
+	// encoding tags the kind, not just the 8 payload bytes.
+	ki := NewKey("s", 1, struct{ V int }{1})
+	ku := NewKey("s", 1, struct{ V uint }{1})
+	kf := NewKey("s", 1, struct{ V float64 }{math.Float64frombits(1)})
+	if ki == ku || ki == kf || ku == kf {
+		t.Fatalf("kind tag missing: int=%s uint=%s float=%s", ki, ku, kf)
+	}
+}
+
+func TestKeyPointerFollowsValue(t *testing.T) {
+	type cfg struct{ N int }
+	v := cfg{7}
+	kv := NewKey("s", 1, struct{ C cfg }{v})
+	kp := NewKey("s", 1, struct{ C *cfg }{&v})
+	if kv != kp {
+		t.Fatalf("pointer indirection changed the key: %s vs %s", kv, kp)
+	}
+	if kn := NewKey("s", 1, struct{ C *cfg }{nil}); kn == kp {
+		t.Fatal("nil pointer collides with populated pointer")
+	}
+}
+
+func TestKeyRejectsUnhashableKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("func field did not panic")
+		}
+	}()
+	NewKey("s", 1, struct{ F func() }{func() {}})
+}
+
+// FuzzArtifactKey drives injectivity: a base config and every
+// single-field mutation of it must all map to pairwise-distinct keys,
+// while re-encoding the identical value reproduces the same key.
+func FuzzArtifactKey(f *testing.F) {
+	f.Add("sha", int64(4), uint64(32768), 1.0, "tage", true, []byte{1, 2, 3})
+	f.Add("", int64(-1), uint64(0), 0.0, "", false, []byte(nil))
+	f.Add("dijkstra", int64(1<<40), uint64(1)<<63, math.Inf(1), "gshare", true, []byte("seg"))
+	f.Add("x", int64(0), uint64(0), math.NaN(), "x", false, []byte{})
+	f.Fuzz(func(t *testing.T, name string, width int64, size uint64, freq float64, variant string, enabled bool, blob []byte) {
+		type cfg struct {
+			Name    string
+			Width   int64
+			Size    uint64
+			Freq    float64
+			Variant string
+			Enabled bool
+			Blob    []byte
+		}
+		base := cfg{name, width, size, freq, variant, enabled, blob}
+
+		// Same value, same key — even for NaN (bit-level canonical).
+		if NewKey("stage", 1, base) != NewKey("stage", 1, base) {
+			t.Fatal("identical input produced different keys")
+		}
+
+		// Each mutant flips the bit-representation of exactly one field.
+		mutate := func(fn func(*cfg)) cfg {
+			m := base
+			m.Blob = append([]byte(nil), base.Blob...) // keep mutations independent
+			fn(&m)
+			return m
+		}
+		mutants := []cfg{
+			mutate(func(c *cfg) { c.Name += "x" }),
+			mutate(func(c *cfg) { c.Width++ }),
+			mutate(func(c *cfg) { c.Size ^= 1 }),
+			mutate(func(c *cfg) { c.Freq = math.Float64frombits(math.Float64bits(c.Freq) ^ 1) }),
+			mutate(func(c *cfg) { c.Variant += "x" }),
+			mutate(func(c *cfg) { c.Enabled = !c.Enabled }),
+			mutate(func(c *cfg) { c.Blob = append(c.Blob, 0) }),
+		}
+		seen := map[Key]int{NewKey("stage", 1, base): -1}
+		for i, m := range mutants {
+			k := NewKey("stage", 1, m)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("mutant %d collides with %d (base=-1): %+v", i, prev, m)
+			}
+			seen[k] = i
+		}
+	})
+}

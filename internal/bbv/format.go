@@ -38,7 +38,15 @@ func WriteBB(w io.Writer, vectors []Vector) error {
 	return bw.Flush()
 }
 
-// ReadBB parses a SimPoint .bb stream back into vectors.
+// maxExactCount is the largest execution count accepted by ReadBB. Vector
+// stores counts as float64, which is exact only up to 2^53; larger counts
+// would silently lose precision and break write→read round-trips.
+const maxExactCount = int64(1) << 53
+
+// ReadBB parses a SimPoint .bb stream back into vectors. Malformed input
+// returns an error; it never panics or silently drops information
+// (duplicate block IDs in one interval and counts beyond float64's exact
+// integer range are rejected rather than merged or rounded).
 func ReadBB(r io.Reader) ([]Vector, error) {
 	var out []Vector
 	sc := bufio.NewScanner(r)
@@ -66,6 +74,12 @@ func ReadBB(r io.Reader) ([]Vector, error) {
 			count, err := strconv.ParseInt(parts[1], 10, 64)
 			if err != nil || count < 0 {
 				return nil, fmt.Errorf("bbv: line %d: bad count %q", lineNo, parts[1])
+			}
+			if count > maxExactCount {
+				return nil, fmt.Errorf("bbv: line %d: count %d exceeds float64's exact range", lineNo, count)
+			}
+			if _, dup := v[block-1]; dup {
+				return nil, fmt.Errorf("bbv: line %d: duplicate block id %d", lineNo, block)
 			}
 			v[block-1] = float64(count)
 		}

@@ -1,0 +1,142 @@
+// Package binio provides sticky-error binary readers and writers for the
+// deterministic little-endian codecs behind the artifact cache. Encoders
+// must be canonical — the same value always produces the same bytes — so
+// cached payloads can be byte-compared against fresh recomputations
+// (-cache-verify) and content-addressed safely.
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer writes little-endian primitives to an io.Writer. The first error
+// sticks: subsequent writes are no-ops and Err returns it.
+type Writer struct {
+	w   io.Writer
+	err error
+	b   [8]byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// U64 writes a uint64.
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(w.b[:], v)
+	_, w.err = w.w.Write(w.b[:])
+}
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	w.U64(b)
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// Reader reads little-endian primitives from an io.Reader. The first error
+// sticks: subsequent reads return zero values and Err returns it.
+type Reader struct {
+	r   io.Reader
+	err error
+	b   [8]byte
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail forces the reader into an error state (decode-side validation).
+func (r *Reader) Fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if _, r.err = io.ReadFull(r.r, r.b[:]); r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.b[:])
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 into an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a one-byte bool; values other than 0/1 are decode errors.
+func (r *Reader) Bool() bool {
+	switch r.U64() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("binio: invalid bool")
+		return false
+	}
+}
+
+// Len reads a length and validates 0 <= n <= max, failing the reader
+// otherwise. Decoders use it so corrupt payloads error out instead of
+// provoking giant allocations.
+func (r *Reader) Len(max int) int {
+	n := r.I64()
+	if r.err == nil && (n < 0 || n > int64(max)) {
+		r.Fail("binio: length %d out of range [0,%d]", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice of at most max bytes.
+func (r *Reader) Bytes(max int) []byte {
+	n := r.Len(max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	if _, r.err = io.ReadFull(r.r, out); r.err != nil {
+		return nil
+	}
+	return out
+}

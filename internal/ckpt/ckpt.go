@@ -82,6 +82,44 @@ func (k *Checkpoint) Serialize(w io.Writer) error {
 	return k.Mem.Serialize(w)
 }
 
+// SerializeAll writes a slice of checkpoints (a count, then each
+// checkpoint in Serialize's format) — the on-disk shape of a profile's
+// checkpoint set in the artifact cache.
+func SerializeAll(w io.Writer, ks []*Checkpoint) error {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(ks)))
+	if _, err := w.Write(b8[:]); err != nil {
+		return err
+	}
+	for _, k := range ks {
+		if err := k.Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeserializeAll reads a checkpoint slice in SerializeAll's format.
+func DeserializeAll(r io.Reader) ([]*Checkpoint, error) {
+	var b8 [8]byte
+	if _, err := io.ReadFull(r, b8[:]); err != nil {
+		return nil, fmt.Errorf("ckpt: reading checkpoint count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(b8[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("ckpt: unreasonable checkpoint count %d", n)
+	}
+	ks := make([]*Checkpoint, n)
+	for i := range ks {
+		k, err := Deserialize(r)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: checkpoint %d: %w", i, err)
+		}
+		ks[i] = k
+	}
+	return ks, nil
+}
+
 // Deserialize reads a checkpoint in the format produced by Serialize.
 func Deserialize(r io.Reader) (*Checkpoint, error) {
 	var b8 [8]byte

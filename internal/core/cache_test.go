@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/boom"
+	"repro/internal/simpoint"
+	"repro/internal/workloads"
+)
+
+// corruptAllCacheFiles flips one byte in every artifact under dir.
+func corruptAllCacheFiles(t *testing.T, dir string) {
+	t.Helper()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)/2] ^= 0xff
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmCacheSweepSpeedup is the headline economics claim: a warm-cache
+// sweep over every registered workload skips straight to report
+// generation, at least 5× faster than the cold run, with exactly equal
+// results (timing fields included — hit costs are restored from the
+// cache, so even the speedup table reproduces byte-for-byte).
+func TestWarmCacheSweepSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fc := DefaultFlowConfig()
+	names := workloads.Names()
+	cfgs := []boom.Config{boom.MediumBOOM()}
+
+	t0 := time.Now()
+	coldSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, names, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(t0)
+
+	t1 := time.Now()
+	warmSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, names, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(t1)
+
+	if warmDur*5 > coldDur {
+		t.Errorf("warm sweep %v is not ≥5× faster than cold %v", warmDur, coldDur)
+	}
+	if !reflect.DeepEqual(coldSW.Results, warmSW.Results) {
+		t.Error("warm sweep results differ from cold")
+	}
+	for name, pa := range coldSW.Profiles {
+		pb := warmSW.Profiles[name]
+		if pa.WallNS != pb.WallNS || pa.CacheKey != pb.CacheKey {
+			t.Errorf("%s: warm profile (wall %d, key %s) differs from cold (wall %d, key %s)",
+				name, pb.WallNS, pb.CacheKey, pa.WallNS, pa.CacheKey)
+		}
+		if !reflect.DeepEqual(pa.Selection, pb.Selection) {
+			t.Errorf("%s: warm selection differs from cold", name)
+		}
+	}
+}
+
+// TestCachedMatchesUncached: attaching a cache must not change a single
+// computed bit relative to the plain pipeline — only the wall-clock
+// bookkeeping (and the cache fingerprint) may differ.
+func TestCachedMatchesUncached(t *testing.T) {
+	ctx := context.Background()
+	fc := DefaultFlowConfig()
+	cfg := boom.LargeBOOM()
+	w1, err := workloads.Build("qsort", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := workloads.Build("qsort", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := New(fc, WithScale(workloads.ScaleTiny))
+	cached := New(fc, WithScale(workloads.ScaleTiny), WithCache(t.TempDir()))
+
+	p1, err := plain.Profile(ctx, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cached.Profile(ctx, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Vectors, p2.Vectors) ||
+		!reflect.DeepEqual(p1.Selection, p2.Selection) ||
+		!reflect.DeepEqual(p1.Checkpoints, p2.Checkpoints) ||
+		!reflect.DeepEqual(p1.WarmupInsts, p2.WarmupInsts) ||
+		p1.TotalInsts != p2.TotalInsts || p1.NumBlocks != p2.NumBlocks {
+		t.Fatal("cached profile differs from uncached")
+	}
+	if p2.CacheKey == "" {
+		t.Fatal("cached profile has no CacheKey")
+	}
+
+	r1, err := plain.Run(ctx, p1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cached.Run(ctx, p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := *r1, *r2
+	a.MeasureWallNS, b.MeasureWallNS = 0, 0
+	if !reflect.DeepEqual(&a, &b) {
+		t.Fatal("cached result differs from uncached")
+	}
+}
+
+// TestCacheVerifyPassesAndDetectsDivergence: -cache-verify semantics. A
+// clean warm pass verifies silently; a poisoned artifact (valid entry,
+// wrong content — the case checksums cannot catch) fails loudly.
+func TestCacheVerifyPassesAndDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fc := DefaultFlowConfig()
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir))
+	if _, err := cold.Profile(ctx, w); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir), WithCacheVerify(true))
+	if _, err := verify.Profile(ctx, w); err != nil {
+		t.Fatalf("verify pass over a clean cache failed: %v", err)
+	}
+
+	// Poison the selection artifact with a well-formed but wrong payload.
+	bogus := &simpoint.Result{
+		K:        1,
+		Coverage: 1,
+		Points:   []simpoint.Point{{Interval: 0, Cluster: 0, Weight: 1}},
+		Selected: []simpoint.Point{{Interval: 0, Cluster: 0, Weight: 1}},
+	}
+	var buf bytes.Buffer
+	if err := simpoint.EncodeResult(&buf, bogus); err != nil {
+		t.Fatal(err)
+	}
+	keys := cold.profileKeys(w)
+	if err := cold.Cache().Put(keys.sel, buf.Bytes(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = verify.Profile(ctx, w)
+	if err == nil {
+		t.Fatal("verify accepted a poisoned artifact")
+	}
+	if !strings.Contains(err.Error(), "cache verify") {
+		t.Fatalf("poisoned artifact error %q does not mention cache verify", err)
+	}
+
+	// Without verification the poisoned-but-decodable entry is simply
+	// served — that asymmetry is exactly what -cache-verify exists for —
+	// while a fresh cold run elsewhere stays correct.
+	if _, err := cold.Profile(ctx, w); err != nil {
+		t.Fatalf("non-verify run over poisoned cache errored: %v", err)
+	}
+}
+
+// TestCacheCorruptEntryRecomputes: flipping bits on disk must degrade to
+// a recompute-and-heal, never a wrong result.
+func TestCacheCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fc := DefaultFlowConfig()
+	w, err := workloads.Build("bitcount", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir))
+	p1, err := r.Profile(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAllCacheFiles(t, dir)
+	p2, err := r.Profile(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Selection, p2.Selection) {
+		t.Fatal("recompute after corruption changed the selection")
+	}
+	// The healed entries serve the next run again.
+	p3, err := r.Profile(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Selection, p3.Selection) {
+		t.Fatal("healed cache served a different selection")
+	}
+}

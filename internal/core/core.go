@@ -87,7 +87,8 @@ type Profile struct {
 	Selection   *simpoint.Result
 	Checkpoints []*ckpt.Checkpoint // aligned with Selection.Selected
 	WarmupInsts []int64            // actual warm-up available per checkpoint
-	WallNS      int64              // measured wall-clock of steps 1–3
+	WallNS      int64              // compute wall-clock of steps 1–3 (cache hits report the original cost)
+	CacheKey    string             // artifact-chain fingerprint of steps 1–3; empty without a cache
 }
 
 // NumSimPoints returns the number of selected simulation points (the

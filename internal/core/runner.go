@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/asap7"
 	"repro/internal/bbv"
 	"repro/internal/boom"
@@ -37,13 +39,16 @@ func Stages() []string {
 
 // Runner executes the SimPoint→power flow. Construct with New; the zero
 // value is not usable. A Runner is safe for concurrent use: it holds only
-// immutable configuration plus an optional metrics registry.
+// immutable configuration plus an optional metrics registry and artifact
+// cache (both internally synchronized).
 type Runner struct {
 	fc       FlowConfig
 	scale    workloads.Scale
 	reg      *metrics.Registry
 	par      int
 	progress func(string)
+	cache    *artifact.Cache
+	verify   bool
 }
 
 // Option configures a Runner.
@@ -80,6 +85,28 @@ func WithProgress(fn func(string)) Option {
 	return func(r *Runner) { r.progress = fn }
 }
 
+// WithCache attaches a content-addressed artifact cache rooted at dir.
+// Every stage then does lookup → compute-on-miss → atomic write, keyed by
+// a hash of the stage's full input closure (see internal/core/cache.go).
+// Results are bit-identical with and without a cache; an empty dir
+// disables caching.
+func WithCache(dir string) Option {
+	return func(r *Runner) {
+		if dir == "" {
+			r.cache = nil
+			return
+		}
+		r.cache = artifact.Open(dir)
+	}
+}
+
+// WithCacheVerify makes every cache hit recompute the stage and
+// byte-compare the canonical payloads, turning silent cache corruption or
+// nondeterminism into a hard error. A no-op without WithCache.
+func WithCacheVerify(v bool) Option {
+	return func(r *Runner) { r.verify = v }
+}
+
 // New returns a Runner for the given flow configuration.
 func New(fc FlowConfig, opts ...Option) *Runner {
 	r := &Runner{
@@ -93,11 +120,17 @@ func New(fc FlowConfig, opts ...Option) *Runner {
 	if r.par < 1 {
 		r.par = 1
 	}
+	if r.cache != nil {
+		r.cache.SetMetrics(r.reg)
+	}
 	return r
 }
 
 // Metrics returns the attached registry (nil when none).
 func (r *Runner) Metrics() *metrics.Registry { return r.reg }
+
+// Cache returns the attached artifact cache (nil when none).
+func (r *Runner) Cache() *artifact.Cache { return r.cache }
 
 // flowLap opens a lap on the root "flow" span; the returned func closes it.
 func (r *Runner) flowLap() func() {
@@ -127,128 +160,225 @@ func (r *Runner) note(format string, args ...interface{}) {
 
 // Profile runs steps 1–3 of the flow (profile → select → checkpoint) for
 // one already-built workload. Cancellation is cooperative: the context is
-// checked at interval boundaries of the functional execution.
+// checked at interval boundaries of the functional execution. With a
+// cache attached, each step is served from its artifact when present.
 func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, error) {
-	start := time.Now()
 	defer r.flowLap()()
 
+	var keys profileKeys
+	if r.cache != nil {
+		keys = r.profileKeys(w)
+	}
+
 	// Stage 1: functional execution + BBV profiling, one interval at a time.
+	var (
+		vectors    []bbv.Vector
+		totalInsts uint64
+		numBlocks  int
+	)
 	endStage := r.stage(StageProfile)
-	cpu, err := w.NewCPU()
-	if err != nil {
-		endStage()
-		return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: err}
-	}
-	cpu.SetMetrics(r.reg)
-	profiler := bbv.NewProfiler(w.IntervalSize)
-	var n int64
-	for !cpu.Halted {
-		if cerr := ctx.Err(); cerr != nil {
-			endStage()
-			return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: cerr}
-		}
-		ran, rerr := cpu.RunTrace(w.IntervalSize, profiler.Observe)
-		n += ran
-		if rerr != nil {
-			endStage()
-			return nil, &StageError{Stage: StageProfile, Workload: w.Name, Err: rerr}
-		}
-		if ran == 0 && !cpu.Halted {
-			endStage()
-			return nil, &StageError{Stage: StageProfile, Workload: w.Name,
-				Err: fmt.Errorf("no forward progress (did not halt)")}
-		}
-	}
-	profiler.Finish()
+	c1, err := r.stageCached(keys.bbv,
+		func(payload []byte) error {
+			v, ti, nb, derr := decodeBBVPayload(payload)
+			if derr != nil {
+				return derr
+			}
+			vectors, totalInsts, numBlocks = v, ti, nb
+			return nil
+		},
+		func() error {
+			cpu, cerr := w.NewCPU()
+			if cerr != nil {
+				return cerr
+			}
+			cpu.SetMetrics(r.reg)
+			profiler := bbv.NewProfiler(w.IntervalSize)
+			var n int64
+			for !cpu.Halted {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				ran, rerr := cpu.RunTrace(w.IntervalSize, profiler.Observe)
+				n += ran
+				if rerr != nil {
+					return rerr
+				}
+				if ran == 0 && !cpu.Halted {
+					return fmt.Errorf("no forward progress (did not halt)")
+				}
+			}
+			profiler.Finish()
+			vectors = profiler.Vectors()
+			totalInsts = uint64(n)
+			numBlocks = profiler.NumBlocks()
+			return nil
+		},
+		func() ([]byte, error) {
+			return encodeBBVPayload(vectors, totalInsts, numBlocks)
+		})
 	endStage()
+	if err != nil {
+		return nil, wrapStage(StageProfile, w.Name, "", err)
+	}
 
 	// Stage 2: SimPoint selection.
+	var sel *simpoint.Result
 	endStage = r.stage(StageSelect)
-	sel, err := simpoint.Choose(profiler.Vectors(), r.fc.SimPoint)
-	if err != nil {
-		endStage()
-		return nil, &StageError{Stage: StageSelect, Workload: w.Name, Err: err}
-	}
-	if r.reg != nil {
+	c2, err := r.stageCached(keys.sel,
+		func(payload []byte) error {
+			s, derr := simpoint.DecodeResult(bytes.NewReader(payload))
+			if derr != nil {
+				return derr
+			}
+			sel = s
+			return nil
+		},
+		func() error {
+			s, serr := simpoint.Choose(vectors, r.fc.SimPoint)
+			if serr != nil {
+				return serr
+			}
+			sel = s
+			return nil
+		},
+		func() ([]byte, error) {
+			var buf bytes.Buffer
+			if eerr := simpoint.EncodeResult(&buf, sel); eerr != nil {
+				return nil, eerr
+			}
+			return buf.Bytes(), nil
+		})
+	if err == nil && r.reg != nil {
 		r.reg.Counter("simpoint.kmeans.runs").Add(int64(sel.Stats.Runs))
 		r.reg.Counter("simpoint.kmeans.iterations").Add(int64(sel.Stats.Iterations))
 		r.reg.Gauge("simpoint.k").Set(float64(sel.K))
 		r.reg.Gauge("simpoint.coverage").Set(sel.Coverage)
 	}
 	endStage()
-
-	p := &Profile{
-		Workload:   w,
-		TotalInsts: uint64(n),
-		Vectors:    profiler.Vectors(),
-		NumBlocks:  profiler.NumBlocks(),
-		Selection:  sel,
+	if err != nil {
+		return nil, wrapStage(StageSelect, w.Name, "", err)
 	}
 
 	// Stage 3: checkpoint creation. Checkpoints are taken WarmupInsts
 	// before each simulation point (clamped at program start), in one
 	// functional pass over the sorted capture points.
+	var (
+		cks     []*ckpt.Checkpoint
+		warmups []int64
+	)
 	endStage = r.stage(StageCheckpoint)
-	type capturePoint struct {
-		at       int64 // instruction count where the checkpoint is taken
-		selIdx   int
-		interval int64
-	}
-	caps := make([]capturePoint, len(sel.Selected))
-	for i, pt := range sel.Selected {
-		st := int64(pt.Interval) * w.IntervalSize
-		at := st - r.fc.WarmupInsts
-		if at < 0 {
-			at = 0
-		}
-		caps[i] = capturePoint{at: at, selIdx: i, interval: int64(pt.Interval)}
-	}
-	sort.Slice(caps, func(i, j int) bool { return caps[i].at < caps[j].at })
+	c3, err := r.stageCached(keys.ckpt,
+		func(payload []byte) error {
+			k, wu, derr := decodeCkptPayload(payload, len(sel.Selected))
+			if derr != nil {
+				return derr
+			}
+			cks, warmups = k, wu
+			return nil
+		},
+		func() error {
+			type capturePoint struct {
+				at       int64 // instruction count where the checkpoint is taken
+				selIdx   int
+				interval int64
+			}
+			caps := make([]capturePoint, len(sel.Selected))
+			for i, pt := range sel.Selected {
+				st := int64(pt.Interval) * w.IntervalSize
+				at := st - r.fc.WarmupInsts
+				if at < 0 {
+					at = 0
+				}
+				caps[i] = capturePoint{at: at, selIdx: i, interval: int64(pt.Interval)}
+			}
+			sort.Slice(caps, func(i, j int) bool { return caps[i].at < caps[j].at })
 
-	cpu2, err := w.NewCPU()
-	if err != nil {
-		endStage()
-		return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: err}
-	}
-	cpu2.SetMetrics(r.reg)
-	p.Checkpoints = make([]*ckpt.Checkpoint, len(caps))
-	p.WarmupInsts = make([]int64, len(caps))
-	var executed int64
-	for _, cp := range caps {
-		for executed < cp.at {
-			if cerr := ctx.Err(); cerr != nil {
-				endStage()
-				return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: cerr}
+			cpu2, cerr := w.NewCPU()
+			if cerr != nil {
+				return cerr
 			}
-			step := cp.at - executed
-			if step > w.IntervalSize {
-				step = w.IntervalSize
+			cpu2.SetMetrics(r.reg)
+			cks = make([]*ckpt.Checkpoint, len(caps))
+			warmups = make([]int64, len(caps))
+			var executed int64
+			for _, cp := range caps {
+				for executed < cp.at {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					step := cp.at - executed
+					if step > w.IntervalSize {
+						step = w.IntervalSize
+					}
+					if _, rerr := cpu2.Run(step); rerr != nil {
+						return rerr
+					}
+					executed += step
+				}
+				k := ckpt.Capture(cpu2)
+				k.Interval = cp.interval
+				k.Weight = sel.Selected[cp.selIdx].Weight
+				cks[cp.selIdx] = k
+				warmups[cp.selIdx] = cp.interval*w.IntervalSize - cp.at
 			}
-			if _, rerr := cpu2.Run(step); rerr != nil {
-				endStage()
-				return nil, &StageError{Stage: StageCheckpoint, Workload: w.Name, Err: rerr}
-			}
-			executed += step
-		}
-		k := ckpt.Capture(cpu2)
-		k.Interval = cp.interval
-		k.Weight = sel.Selected[cp.selIdx].Weight
-		p.Checkpoints[cp.selIdx] = k
-		p.WarmupInsts[cp.selIdx] = cp.interval*w.IntervalSize - cp.at
-	}
+			return nil
+		},
+		func() ([]byte, error) {
+			return encodeCkptPayload(cks, warmups)
+		})
 	endStage()
-	p.WallNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, wrapStage(StageCheckpoint, w.Name, "", err)
+	}
+
+	p := &Profile{
+		Workload:    w,
+		TotalInsts:  totalInsts,
+		Vectors:     vectors,
+		NumBlocks:   numBlocks,
+		Selection:   sel,
+		Checkpoints: cks,
+		WarmupInsts: warmups,
+		WallNS:      c1 + c2 + c3,
+	}
+	if r.cache != nil {
+		p.CacheKey = keys.ckpt.Hex()
+	}
 	return p, nil
 }
 
 // Run executes steps 4–5 of the flow for one profiled workload on one
 // configuration: restore every checkpoint, warm up, measure, and estimate
 // power, aggregating by cluster weight. The context is checked between
-// simulation points.
+// simulation points. With a cache attached, the whole measurement is one
+// artifact keyed off the profile's chain.
 func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result, error) {
-	start := time.Now()
 	defer r.flowLap()()
 
+	var key artifact.Key
+	if r.cache != nil && p.CacheKey != "" {
+		key = measureKey(p.CacheKey, cfg, r.fc.Lib)
+	}
+	res := &Result{
+		Workload:   p.Workload.Name,
+		Suite:      p.Workload.Suite,
+		ConfigName: cfg.Name,
+		Mode:       "simpoint",
+	}
+	cost, err := r.stageCached(key,
+		func(payload []byte) error { return decodeResultPayload(payload, res) },
+		func() error { return r.measure(ctx, p, cfg, res) },
+		func() ([]byte, error) { return encodeResultPayload(res) })
+	if err != nil {
+		return nil, wrapStage(StageMeasure, p.Workload.Name, cfg.Name, err)
+	}
+	res.MeasureWallNS = cost
+	return res, nil
+}
+
+// measure is the compute body of Run: warm up, measure and estimate every
+// simulation point, filling res (everything but MeasureWallNS).
+func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *Result) error {
 	est := power.NewEstimator(cfg, r.fc.Lib)
 	est.SetMetrics(r.reg)
 	agg := boom.NewStats(&cfg)
@@ -258,11 +388,11 @@ func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result,
 
 	prog, err := p.Workload.Program()
 	if err != nil {
-		return nil, &StageError{Stage: StageWarmup, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+		return &StageError{Stage: StageWarmup, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
 	}
 	for i, k := range p.Checkpoints {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, &StageError{Stage: StageMeasure, Workload: p.Workload.Name, Config: cfg.Name, Err: cerr}
+			return &StageError{Stage: StageMeasure, Workload: p.Workload.Name, Config: cfg.Name, Err: cerr}
 		}
 		// Warm-up: restore the architectural checkpoint into a fresh
 		// functional+timing pair and prime caches and predictors.
@@ -308,42 +438,58 @@ func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result,
 	rep, err := est.Estimate(agg)
 	endStage()
 	if err != nil {
-		return nil, &StageError{Stage: StageEstimate, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+		return &StageError{Stage: StageEstimate, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
 	}
 	// Normalize the weighted slot powers by coverage so partial coverage
 	// does not deflate them.
 	for s := range aggSlots {
 		aggSlots[s] /= p.Selection.Coverage
 	}
-	return &Result{
-		Workload:      p.Workload.Name,
-		Suite:         p.Workload.Suite,
-		ConfigName:    cfg.Name,
-		Mode:          "simpoint",
-		TotalInsts:    p.TotalInsts,
-		IntervalSize:  p.Workload.IntervalSize,
-		NumPoints:     p.NumSimPoints(),
-		Coverage:      p.Selection.Coverage,
-		K:             p.Selection.K,
-		Stats:         agg,
-		Power:         rep,
-		Slots:         aggSlots,
-		Points:        points,
-		DetailedInsts: detailed,
-		MeasureWallNS: time.Since(start).Nanoseconds(),
-	}, nil
+	res.TotalInsts = p.TotalInsts
+	res.IntervalSize = p.Workload.IntervalSize
+	res.NumPoints = p.NumSimPoints()
+	res.Coverage = p.Selection.Coverage
+	res.K = p.Selection.K
+	res.Stats = agg
+	res.Power = rep
+	res.Slots = aggSlots
+	res.Points = points
+	res.DetailedInsts = detailed
+	return nil
 }
 
 // RunFull executes the entire workload on the detailed model (the
 // baseline the SimPoint methodology replaces). Cancellation is checked at
 // interval boundaries of the detailed run.
 func (r *Runner) RunFull(ctx context.Context, w *workloads.Workload, cfg boom.Config) (*Result, error) {
-	start := time.Now()
 	defer r.flowLap()()
 
+	var key artifact.Key
+	if r.cache != nil {
+		key = fullKey(w, cfg, r.fc.Lib)
+	}
+	res := &Result{
+		Workload:   w.Name,
+		Suite:      w.Suite,
+		ConfigName: cfg.Name,
+		Mode:       "full",
+	}
+	cost, err := r.stageCached(key,
+		func(payload []byte) error { return decodeResultPayload(payload, res) },
+		func() error { return r.measureFull(ctx, w, cfg, res) },
+		func() ([]byte, error) { return encodeResultPayload(res) })
+	if err != nil {
+		return nil, wrapStage(StageMeasure, w.Name, cfg.Name, err)
+	}
+	res.MeasureWallNS = cost
+	return res, nil
+}
+
+// measureFull is the compute body of RunFull.
+func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boom.Config, res *Result) error {
 	cpu, err := w.NewCPU()
 	if err != nil {
-		return nil, &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: err}
+		return &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: err}
 	}
 	core := boom.New(cfg)
 	core.SetMetrics(r.reg)
@@ -363,7 +509,7 @@ func (r *Runner) RunFull(ctx context.Context, w *workloads.Workload, cfg boom.Co
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			endStage()
-			return nil, &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: cerr}
+			return &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: cerr}
 		}
 	}
 	endStage()
@@ -375,28 +521,23 @@ func (r *Runner) RunFull(ctx context.Context, w *workloads.Workload, cfg boom.Co
 	rep, err := est.Estimate(st)
 	endStage()
 	if err != nil {
-		return nil, &StageError{Stage: StageEstimate, Workload: w.Name, Config: cfg.Name, Err: err}
+		return &StageError{Stage: StageEstimate, Workload: w.Name, Config: cfg.Name, Err: err}
 	}
-	return &Result{
-		Workload:      w.Name,
-		Suite:         w.Suite,
-		ConfigName:    cfg.Name,
-		Mode:          "full",
-		TotalInsts:    st.Insts,
-		IntervalSize:  w.IntervalSize,
-		Stats:         st,
-		Power:         rep,
-		Slots:         est.SlotPower(st),
-		DetailedInsts: ran,
-		MeasureWallNS: time.Since(start).Nanoseconds(),
-	}, nil
+	res.TotalInsts = st.Insts
+	res.IntervalSize = w.IntervalSize
+	res.Stats = st
+	res.Power = rep
+	res.Slots = est.SlotPower(st)
+	res.DetailedInsts = ran
+	return nil
 }
 
 // Sweep profiles every named workload once (at the Runner's scale) and
 // evaluates it on every config with the SimPoint flow. Work is spread
 // across the Runner's parallelism — every (workload, config) measurement
 // is independent and deterministic, so results are bit-identical to a
-// serial run regardless of worker count or metrics attachment.
+// serial run regardless of worker count, metrics attachment, or cache
+// state.
 func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Config) (*Sweep, error) {
 	var noteMu sync.Mutex
 	note := func(format string, args ...interface{}) {

@@ -1,0 +1,51 @@
+package power
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/binio"
+	"repro/internal/boom"
+)
+
+// Binary codec for Report, used by the artifact cache to persist the
+// per-component power of a measurement. Canonical: same Report → same
+// bytes, so -cache-verify can byte-compare cached power against a fresh
+// estimation pass.
+
+// reportMagic identifies the serialized Report format ("PWREPRT1").
+const reportMagic = 0x50575245_50525431
+
+// EncodeReport writes rep in the binary format read by DecodeReport.
+func EncodeReport(w io.Writer, rep *Report) error {
+	bw := binio.NewWriter(w)
+	bw.U64(reportMagic)
+	bw.Int(int(boom.NumComponents))
+	for c := range rep.Comp {
+		bw.F64(rep.Comp[c].LeakageMW)
+		bw.F64(rep.Comp[c].InternalMW)
+		bw.F64(rep.Comp[c].SwitchingMW)
+	}
+	return bw.Err()
+}
+
+// DecodeReport reads a Report in the format produced by EncodeReport.
+func DecodeReport(r io.Reader) (*Report, error) {
+	br := binio.NewReader(r)
+	if m := br.U64(); br.Err() == nil && m != reportMagic {
+		return nil, fmt.Errorf("power: bad report magic %#x", m)
+	}
+	if n := br.Int(); br.Err() == nil && n != int(boom.NumComponents) {
+		return nil, fmt.Errorf("power: report has %d components, want %d", n, boom.NumComponents)
+	}
+	rep := &Report{}
+	for c := range rep.Comp {
+		rep.Comp[c].LeakageMW = br.F64()
+		rep.Comp[c].InternalMW = br.F64()
+		rep.Comp[c].SwitchingMW = br.F64()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("power: decoding report: %w", err)
+	}
+	return rep, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -35,7 +36,16 @@ func WriteWeights(w io.Writer, res *Result) error {
 	return bw.Flush()
 }
 
+// maxExactInterval bounds interval indices: the .simpoints column is
+// parsed as float64 (the reference tool writes it that way), which is
+// exact only up to 2^53; converting anything larger (or non-integral, or
+// NaN/Inf) to int would silently corrupt the value.
+const maxExactInterval = float64(int64(1) << 53)
+
 // ReadSimPoints parses .simpoints + .weights streams back into points.
+// Malformed input — non-integral or out-of-range intervals, negative
+// clusters, non-finite or negative weights, mismatched files — returns an
+// error; it never panics or silently truncates.
 func ReadSimPoints(simpoints, weights io.Reader) ([]Point, error) {
 	type line struct {
 		a float64
@@ -44,6 +54,7 @@ func ReadSimPoints(simpoints, weights io.Reader) ([]Point, error) {
 	parse := func(r io.Reader, what string) ([]line, error) {
 		var out []line
 		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 		n := 0
 		for sc.Scan() {
 			n++
@@ -59,9 +70,12 @@ func ReadSimPoints(simpoints, weights io.Reader) ([]Point, error) {
 			if err != nil {
 				return nil, fmt.Errorf("simpoint: %s line %d: %v", what, n, err)
 			}
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+				return nil, fmt.Errorf("simpoint: %s line %d: bad value %q", what, n, fields[0])
+			}
 			b, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("simpoint: %s line %d: %v", what, n, err)
+			if err != nil || b < 0 {
+				return nil, fmt.Errorf("simpoint: %s line %d: bad cluster %q", what, n, fields[1])
 			}
 			out = append(out, line{a, b})
 		}
@@ -83,7 +97,11 @@ func ReadSimPoints(simpoints, weights io.Reader) ([]Point, error) {
 		if sp[i].b != wt[i].b {
 			return nil, fmt.Errorf("simpoint: line %d: cluster mismatch %d vs %d", i+1, sp[i].b, wt[i].b)
 		}
-		out[i] = Point{Interval: int(sp[i].a), Cluster: sp[i].b, Weight: wt[i].a}
+		iv := sp[i].a
+		if iv != math.Trunc(iv) || iv > maxExactInterval {
+			return nil, fmt.Errorf("simpoint: line %d: interval %v is not an exact integer", i+1, iv)
+		}
+		out[i] = Point{Interval: int(iv), Cluster: sp[i].b, Weight: wt[i].a}
 	}
 	return out, nil
 }

@@ -1,0 +1,92 @@
+package simpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// writePair renders points through both text writers.
+func writePair(t *testing.T, pts []Point) (sp, wt []byte) {
+	t.Helper()
+	res := &Result{Selected: pts}
+	var spBuf, wtBuf bytes.Buffer
+	if err := WriteSimPoints(&spBuf, res); err != nil {
+		t.Fatalf("WriteSimPoints: %v", err)
+	}
+	if err := WriteWeights(&wtBuf, res); err != nil {
+		t.Fatalf("WriteWeights: %v", err)
+	}
+	return spBuf.Bytes(), wtBuf.Bytes()
+}
+
+// FuzzParseSimPoints checks that ReadSimPoints never panics and that any
+// accepted input survives parse → write → parse: intervals and clusters
+// are preserved exactly, and the written form is a fixpoint (weights are
+// rendered at fixed precision, so byte-stability — not float equality —
+// is the lossless property the format guarantees).
+func FuzzParseSimPoints(f *testing.F) {
+	f.Add([]byte("3 0\n17 1\n"), []byte("0.600000 0\n0.400000 1\n"))
+	f.Add([]byte("0 0\n"), []byte("1.000000 0\n"))
+	f.Add([]byte("# c\n\n5 2\n"), []byte("0.125000 2\n"))
+	f.Add([]byte("3.5 0\n"), []byte("1.0 0\n"))
+	f.Add([]byte("NaN 0\n"), []byte("1 0\n"))
+	f.Add([]byte("1 0\n"), []byte("-0.5 0\n"))
+	f.Add([]byte("1 0\n2 1\n"), []byte("1 0\n"))
+	f.Fuzz(func(t *testing.T, spData, wtData []byte) {
+		pts, err := ReadSimPoints(bytes.NewReader(spData), bytes.NewReader(wtData))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		sp1, wt1 := writePair(t, pts)
+		again, err := ReadSimPoints(bytes.NewReader(sp1), bytes.NewReader(wt1))
+		if err != nil {
+			t.Fatalf("reparse of written output: %v\nsimpoints:\n%s\nweights:\n%s", err, sp1, wt1)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round-trip changed point count: %d → %d", len(pts), len(again))
+		}
+		for i := range pts {
+			if again[i].Interval != pts[i].Interval || again[i].Cluster != pts[i].Cluster {
+				t.Fatalf("point %d changed: %+v → %+v", i, pts[i], again[i])
+			}
+		}
+		sp2, wt2 := writePair(t, again)
+		if !bytes.Equal(sp1, sp2) || !bytes.Equal(wt1, wt2) {
+			t.Fatalf("write is not a fixpoint:\nsp: %q vs %q\nwt: %q vs %q", sp1, sp2, wt1, wt2)
+		}
+	})
+}
+
+// TestReadSimPointsHardening pins the malformed inputs down as regression
+// cases: each must return an error, never panic or silently truncate.
+func TestReadSimPointsHardening(t *testing.T) {
+	cases := []struct {
+		name, sp, wt, wantErr string
+	}{
+		{"field arity", "1 0 9\n", "1 0\n", "want 2 fields"},
+		{"non-numeric interval", "x 0\n", "1 0\n", "invalid syntax"},
+		{"NaN interval", "NaN 0\n", "1 0\n", "bad value"},
+		{"Inf interval", "Inf 0\n", "1 0\n", "bad value"},
+		{"negative interval", "-3 0\n", "1 0\n", "bad value"},
+		{"fractional interval", "3.5 0\n", "1 0\n", "not an exact integer"},
+		{"interval beyond 2^53", "9007199254740994e3 0\n", "1 0\n", "not an exact integer"},
+		{"negative cluster", "1 -2\n", "1 -2\n", "bad cluster"},
+		{"non-numeric cluster", "1 z\n", "1 z\n", "bad cluster"},
+		{"NaN weight", "1 0\n", "NaN 0\n", "bad value"},
+		{"negative weight", "1 0\n", "-0.5 0\n", "bad value"},
+		{"count mismatch", "1 0\n2 1\n", "1 0\n", "points but"},
+		{"cluster mismatch", "1 0\n", "1.0 1\n", "cluster mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSimPoints(strings.NewReader(tc.sp), strings.NewReader(tc.wt))
+			if err == nil {
+				t.Fatalf("accepted malformed input sp=%q wt=%q", tc.sp, tc.wt)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
