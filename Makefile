@@ -1,10 +1,11 @@
 # Build/verify entry points. `make check` is the CI tier that keeps the
-# concurrent metrics/runner code race-clean, smokes the fuzz targets, and
-# proves the artifact cache round-trips byte-identically on every change.
+# concurrent metrics/runner code race-clean, smokes the fuzz targets,
+# proves the artifact cache round-trips byte-identically on every change,
+# and drills the supervised sweep engine (chaos injection, crash-resume).
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip check
 
 build:
 	$(GO) build ./...
@@ -16,9 +17,9 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: the packages with new concurrent code (metrics registry,
-# Runner worker pool, artifact cache) must stay race-clean.
+# Runner worker pool, artifact cache, fault injector) must stay race-clean.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact ./internal/faultinject
 
 # Fuzz smoke: a few seconds per target on top of the committed seed
 # corpora (go accepts one -fuzz target per invocation).
@@ -37,4 +38,36 @@ cache-roundtrip:
 	cmp .cache-check/cold.txt .cache-check/warm.txt
 	rm -rf .cache-check
 
-check: vet race fuzz-smoke cache-roundtrip
+# Chaos drill: a keep-going sweep with a seeded fault plan (a panic, a
+# transient error, artifact corruption) must render tables with FAILED
+# cells and exit non-zero — never crash. The in-tree acceptance test
+# (TestChaosSweepAcceptance) additionally proves non-faulted pairs stay
+# bit-identical; this target proves the CLI wiring end to end.
+chaos:
+	rm -rf .chaos-check && mkdir -p .chaos-check
+	$(GO) run ./cmd/tables -scale tiny -q -keep-going -retries 2 \
+		-chaos '42:core.measure/sha/MediumBOOM=panic,core.measure/qsort/*=error' \
+		> .chaos-check/out.txt 2> .chaos-check/err.txt; \
+		test $$? -ne 0 || { echo "chaos: expected non-zero exit"; exit 1; }
+	grep -q FAILED .chaos-check/out.txt
+	grep -q 'task(s) failed' .chaos-check/err.txt
+	rm -rf .chaos-check
+
+# Resume round-trip: kill a cached sweep after 5 tasks (exit 3), resume
+# it — rerunning only the unfinished tasks — and require the resumed
+# report to be byte-identical to a warm rerun of the completed campaign
+# (wall-clock figures travel with the artifacts, so the compare is exact).
+resume-roundtrip:
+	rm -rf .resume-check && mkdir -p .resume-check
+	$(GO) build -o .resume-check/tables ./cmd/tables
+	./.resume-check/tables -scale tiny -q -cache .resume-check/cache \
+		-die-after 5 > /dev/null 2>&1; \
+		test $$? -eq 3 || { echo "resume: expected die-after exit 3"; exit 1; }
+	./.resume-check/tables -scale tiny -q -cache .resume-check/cache -resume \
+		> .resume-check/resumed.txt
+	./.resume-check/tables -scale tiny -q -cache .resume-check/cache \
+		> .resume-check/warm.txt
+	cmp .resume-check/resumed.txt .resume-check/warm.txt
+	rm -rf .resume-check
+
+check: vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip

@@ -33,8 +33,11 @@ func ablate(b *testing.B, name string, mod func(*boom.Config), comp boom.Compone
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := boom.New(cfg)
-	c.Run(func(r *sim.Retired) bool {
+	c, err := boom.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -42,7 +45,9 @@ func ablate(b *testing.B, name string, mod func(*boom.Config), comp boom.Compone
 			panic(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		b.Fatal(err)
+	}
 	rep, err := power.NewEstimator(cfg, asap7.Default()).Estimate(c.Stats())
 	if err != nil {
 		b.Fatal(err)
@@ -173,8 +178,11 @@ func BenchmarkAblationL2(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			c := boom.New(cfg)
-			c.Run(func(r *sim.Retired) bool {
+			c, err := boom.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Run(func(r *sim.Retired) bool {
 				if cpu.Halted {
 					return false
 				}
@@ -182,7 +190,9 @@ func BenchmarkAblationL2(b *testing.B) {
 					panic(err)
 				}
 				return true
-			}, math.MaxUint64)
+			}, math.MaxUint64); err != nil {
+				b.Fatal(err)
+			}
 			out += fmt.Sprintf("%-6d %-6.2f %d\n", kib, c.Stats().IPC(), c.Stats().Cycles)
 		}
 		ablShow("l2", out+"\n")

@@ -186,8 +186,11 @@ func runTiming(b *testing.B, name string, cfg boom.Config) *boom.Stats {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := boom.New(cfg)
-	c.Run(func(r *sim.Retired) bool {
+	c, err := boom.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -195,7 +198,9 @@ func runTiming(b *testing.B, name string, cfg boom.Config) *boom.Stats {
 			panic(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		b.Fatal(err)
+	}
 	return c.Stats()
 }
 
@@ -239,8 +244,11 @@ func BenchmarkTimingModel(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		c := boom.New(cfg)
-		insts += c.Run(func(r *sim.Retired) bool {
+		c, err := boom.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := c.Run(func(r *sim.Retired) bool {
 			if cpu.Halted {
 				return false
 			}
@@ -249,6 +257,10 @@ func BenchmarkTimingModel(b *testing.B) {
 			}
 			return true
 		}, math.MaxUint64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += n
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/boom"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -48,6 +49,7 @@ func main() {
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
 	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
+	chaos := flag.String("chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 1:boom.tick/*=panic#2x1 (see internal/faultinject)")
 	flag.Parse()
 
 	if *list {
@@ -120,6 +122,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode))
 	}
+	if *chaos != "" {
+		inj, err := faultinject.Parse(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithFaultInjector(inj))
+	}
 	runner := core.New(fc, opts...)
 	ctx := context.Background()
 
@@ -144,9 +153,12 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			c := boom.New(cfg)
+			c, err := boom.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
 			c.SetPipeTrace(os.Stdout, *trace)
-			c.Run(func(rr *sim.Retired) bool {
+			if _, err := c.Run(func(rr *sim.Retired) bool {
 				if cpu.Halted {
 					return false
 				}
@@ -154,7 +166,9 @@ func main() {
 					fatal(err)
 				}
 				return true
-			}, *trace+1000)
+			}, *trace+1000); err != nil {
+				fatal(err)
+			}
 			return
 		}
 		r, err = runner.RunFull(ctx, w, cfg)

@@ -12,19 +12,33 @@
 // cache; a warm-cache rerun skips straight to report generation and its
 // output is byte-identical to the cold run. -cache-verify recomputes each
 // hit and fails on divergence.
+//
+// Fault tolerance: -keep-going collects task failures instead of aborting
+// (failed pairs render as FAILED cells and the command exits non-zero);
+// -retries N and -stage-timeout D add bounded retry and per-stage
+// watchdogs; -resume replays the sweep journal under -cache after a crash
+// and reruns only unfinished tasks; -chaos SEED:SPEC injects deterministic
+// faults (panics, errors, delays, artifact corruption) for drills:
+//
+//	go run ./cmd/tables -scale tiny -keep-going -chaos '7:core.measure/sha/*=panic'
+//	go run ./cmd/tables -scale tiny -cache .cache -die-after 5 ; \
+//	go run ./cmd/tables -scale tiny -cache .cache -resume
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/boom"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -52,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	metricsOut := fs.String("metrics-out", "-", "metrics destination (- = stdout)")
 	cacheDir := fs.String("cache", "", "artifact cache directory (empty = no caching)")
 	cacheVerify := fs.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
+	keepGoing := fs.Bool("keep-going", false, "run every (workload, config) pair despite failures; failed pairs render as FAILED cells")
+	resume := fs.Bool("resume", false, "replay the sweep journal under -cache and rerun only unfinished tasks")
+	retries := fs.Int("retries", 0, "retries per sweep task on transient faults")
+	stageTimeout := fs.Duration("stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
+	chaos := fs.String("chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 7:core.measure/sha/*=error (see internal/faultinject)")
+	dieAfter := fs.Int("die-after", 0, "crash drill: exit(3) after N completed sweep tasks (tests -resume)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +96,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
 	} else if *cacheVerify {
 		return fmt.Errorf("-cache-verify requires -cache DIR")
+	} else if *resume {
+		return fmt.Errorf("-resume requires -cache DIR (the journal lives there)")
+	}
+	if *keepGoing {
+		opts = append(opts, core.WithKeepGoing(true))
+	}
+	if *resume {
+		opts = append(opts, core.WithResume(true))
+	}
+	if *retries > 0 {
+		opts = append(opts, core.WithRetry(*retries, 10*time.Millisecond))
+	}
+	if *stageTimeout > 0 {
+		opts = append(opts, core.WithStageTimeout(*stageTimeout))
+	}
+	if *chaos != "" {
+		inj, err := faultinject.Parse(*chaos)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithFaultInjector(inj))
+	}
+	if *dieAfter > 0 {
+		n := *dieAfter
+		opts = append(opts, core.WithTaskHook(func(completed int) {
+			if completed >= n {
+				fmt.Fprintf(stderr, "die-after: exiting after %d completed tasks\n", completed)
+				os.Exit(3)
+			}
+		}))
 	}
 	var reg *metrics.Registry
 	switch *metricsMode {
@@ -87,8 +137,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode)
 	}
 	sw, err := core.New(fc, opts...).Sweep(context.Background(), workloads.Names(), configs)
+	var failedTasks int
 	if err != nil {
-		return err
+		var se *core.SweepErrors
+		if sw != nil && errors.As(err, &se) {
+			// Keep-going: render what succeeded, report what did not, and
+			// exit non-zero after the tables are out.
+			failedTasks = len(se.Errs)
+			fmt.Fprintf(stderr, "sweep: %d task(s) failed:\n", failedTasks)
+			for _, e := range se.Errs {
+				fmt.Fprintf(stderr, "  %v\n", e)
+			}
+		} else {
+			return err
+		}
 	}
 
 	artifacts := []struct {
@@ -146,6 +208,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+	if failedTasks > 0 {
+		return fmt.Errorf("sweep completed with %d failed task(s); tables above mark them FAILED", failedTasks)
 	}
 	return nil
 }

@@ -129,8 +129,11 @@ func bpPower(cfg boom.Config) float64 {
 	if err != nil {
 		return math.NaN()
 	}
-	c := boom.New(cfg)
-	c.Run(func(r *sim.Retired) bool {
+	c, err := boom.New(cfg)
+	if err != nil {
+		return math.NaN()
+	}
+	if _, err := c.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -138,7 +141,9 @@ func bpPower(cfg boom.Config) float64 {
 			panic(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		return math.NaN()
+	}
 	rep, err := power.NewEstimator(cfg, asap7.Default()).Estimate(c.Stats())
 	if err != nil {
 		return math.NaN()

@@ -72,8 +72,11 @@ func bpPower(cfg boom.Config, name string) float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c := boom.New(cfg)
-	c.Run(func(r *sim.Retired) bool {
+	c, err := boom.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -81,7 +84,9 @@ func bpPower(cfg boom.Config, name string) float64 {
 			log.Fatal(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		log.Fatal(err)
+	}
 	rep, err := power.NewEstimator(cfg, asap7.Default()).Estimate(c.Stats())
 	if err != nil {
 		log.Fatal(err)

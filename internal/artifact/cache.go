@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 )
 
@@ -44,7 +45,8 @@ const maxPayload = 1 << 32
 // writers of the same key converge on identical content.
 type Cache struct {
 	dir string
-	reg *metrics.Registry // optional; nil disables instrumentation
+	reg *metrics.Registry     // optional; nil disables instrumentation
+	inj *faultinject.Injector // optional; nil disables fault sites
 }
 
 // Open returns a cache rooted at dir. The directory is created lazily on
@@ -61,6 +63,13 @@ func (c *Cache) Dir() string { return c.dir }
 // per-stage "artifact.<stage>.hit" / "artifact.<stage>.miss". A nil
 // registry (the default) disables instrumentation.
 func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
+
+// SetFaultInjector attaches a deterministic fault-injection plan (chaos
+// testing). Two sites are exposed: "artifact.read/<stage>" corrupts entry
+// bytes after they leave the disk — exercising the checksum→evict→miss
+// path — and "artifact.write/<stage>" fails a Put with an injected error.
+// A nil injector (the default) disables both.
+func (c *Cache) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
 
 func (c *Cache) count(name string) {
 	if c.reg != nil {
@@ -91,6 +100,7 @@ func (c *Cache) Get(k Key) (payload []byte, costNS int64, ok bool) {
 	if err != nil {
 		return miss()
 	}
+	data = c.inj.Corrupt(data, "artifact.read", k.Stage)
 	payload, costNS, err = decodeEntry(data, k.Version)
 	if err != nil {
 		// Corrupt or mismatched: evict so the slot heals on the next write.
@@ -110,6 +120,9 @@ func (c *Cache) Get(k Key) (payload []byte, costNS int64, ok bool) {
 // in the cache root and renamed into place, so readers only ever observe
 // complete entries. costNS records how long the payload took to compute.
 func (c *Cache) Put(k Key, payload []byte, costNS int64) error {
+	if err := c.inj.Hit("artifact.write", k.Stage); err != nil {
+		return fmt.Errorf("artifact: writing %s: %w", k, err)
+	}
 	path := c.path(k)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)

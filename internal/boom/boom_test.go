@@ -9,6 +9,26 @@ import (
 	"repro/internal/workloads"
 )
 
+// mustNew builds a core, failing the test on an invalid config.
+func mustNew(t testing.TB, cfg Config) *Core {
+	t.Helper()
+	core, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// mustRun drives the core, failing the test on a model error (deadlock).
+func mustRun(t testing.TB, core *Core, next func(*sim.Retired) bool, maxRetire uint64) uint64 {
+	t.Helper()
+	n, err := core.Run(next, maxRetire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 // traceFrom returns a trace-feeding closure for a loaded CPU.
 func traceFrom(t *testing.T, cpu *sim.CPU) func(*sim.Retired) bool {
 	t.Helper()
@@ -34,8 +54,8 @@ func runWorkload(t *testing.T, name string, cfg Config) *Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core := New(cfg)
-	core.Run(traceFrom(t, cpu), math.MaxUint64)
+	core := mustNew(t, cfg)
+	mustRun(t, core, traceFrom(t, cpu), math.MaxUint64)
 	return core.Stats()
 }
 
@@ -48,8 +68,8 @@ func runAsm(t *testing.T, src string, cfg Config) *Stats {
 	}
 	cpu := sim.New()
 	cpu.Load(p)
-	core := New(cfg)
-	core.Run(traceFrom(t, cpu), math.MaxUint64)
+	core := mustNew(t, cfg)
+	mustRun(t, core, traceFrom(t, cpu), math.MaxUint64)
 	return core.Stats()
 }
 
@@ -276,9 +296,9 @@ func TestWarmupResetStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	cpu, _ := w.NewCPU()
-	core := New(MediumBOOM())
+	core := mustNew(t, MediumBOOM())
 	next := traceFrom(t, cpu)
-	core.Run(next, 20_000) // warm-up
+	mustRun(t, core, next, 20_000) // warm-up
 	if core.Stats().Insts == 0 {
 		t.Fatal("warm-up retired nothing")
 	}
@@ -286,7 +306,7 @@ func TestWarmupResetStats(t *testing.T) {
 	if core.Stats().Insts != 0 || core.Stats().Cycles != 0 {
 		t.Fatal("ResetStats did not zero counters")
 	}
-	core.Run(next, 20_000)
+	mustRun(t, core, next, 20_000)
 	if core.Stats().Insts == 0 {
 		t.Fatal("post-warm-up run retired nothing")
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/rv64"
 	"repro/internal/sim"
@@ -82,7 +83,9 @@ type uop struct {
 type Core struct {
 	cfg     Config
 	stats   *Stats
-	metrics *metrics.Registry // optional; nil disables instrumentation
+	metrics *metrics.Registry     // optional; nil disables instrumentation
+	inj     *faultinject.Injector // optional; nil disables the boom.tick site
+	injSite []string              // "boom.tick" + scope segments
 
 	bp     *bpred
 	icache *cacheModel
@@ -138,10 +141,11 @@ type Core struct {
 	freeUops []*uop
 }
 
-// New builds a core for cfg. Panics on invalid configs (programmer error).
-func New(cfg Config) *Core {
+// New builds a core for cfg. Invalid configurations are returned as errors
+// — the detailed model never aborts the process over its inputs.
+func New(cfg Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("boom: invalid config %q: %w", cfg.Name, err)
 	}
 	c := &Core{cfg: cfg}
 	c.stats = NewStats(&cfg)
@@ -149,7 +153,7 @@ func New(cfg Config) *Core {
 	c.icache = newCacheModel(cfg.ICacheKiB, cfg.ICacheWays, cfg.LineBytes)
 	c.dcache = newCacheModel(cfg.DCacheKiB, cfg.DCacheWays, cfg.LineBytes)
 	c.l2 = newCacheModel(cfg.L2KiB, cfg.L2Ways, cfg.LineBytes)
-	return c
+	return c, nil
 }
 
 // Config returns the core's configuration.
@@ -173,10 +177,30 @@ func (c *Core) ResetStats() {
 // (KIPS). A nil registry (the default) disables instrumentation.
 func (c *Core) SetMetrics(reg *metrics.Registry) { c.metrics = reg }
 
+// injCheckMask throttles the fault-injection site inside Run to one check
+// every 8192 cycles — off the per-cycle hot path, frequent enough to land
+// inside any measured interval.
+const injCheckMask = 1<<13 - 1
+
+// SetFaultInjector attaches an optional fault injector; scope segments
+// (typically workload and config name) are appended to the "boom.tick"
+// site so chaos specs can target one measurement deterministically. A nil
+// injector (the default) disables the site.
+func (c *Core) SetFaultInjector(inj *faultinject.Injector, scope ...string) {
+	c.inj = inj
+	c.injSite = append([]string{"boom.tick"}, scope...)
+}
+
 // Run feeds committed instructions from next through the pipeline until
 // maxRetire further instructions have committed (or the trace ends). It
 // returns the number retired by this call.
-func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) uint64 {
+//
+// A stuck pipeline — no commit for >100k cycles — is a model bug, not a
+// workload property. It is returned as a *DeadlockError (errors.Is
+// ErrDeadlock) with the pipeline state at detection time, so a supervised
+// sweep can isolate the faulty (workload, config) task instead of losing
+// the whole campaign.
+func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) (uint64, error) {
 	if c.metrics != nil {
 		t0, cyc0, ret0 := time.Now(), c.cycle, c.retired
 		defer func() {
@@ -192,17 +216,24 @@ func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) uint64 {
 		if c.eof && c.peek == nil && len(c.rob) == 0 && len(c.fetchBuf) == 0 {
 			break
 		}
+		if c.inj != nil && c.cycle&injCheckMask == 0 {
+			if err := c.inj.Hit(c.injSite...); err != nil {
+				return c.retired - start, err
+			}
+		}
 		c.step()
 		if c.retired != lastRetired {
 			lastRetired, lastProgress = c.retired, c.cycle
 		} else if c.cycle-lastProgress > 100_000 {
-			// A stuck pipeline is a model bug, not a workload property:
-			// fail loudly with enough state to debug.
-			panic(fmt.Sprintf("boom: pipeline deadlock at cycle %d (retired %d, rob %d, fb %d, intQ %d, memQ %d, fpQ %d, stq %d, mshrs %d)",
-				c.cycle, c.retired, len(c.rob), len(c.fetchBuf), len(c.intQ), len(c.memQ), len(c.fpQ), len(c.stq), c.mshrsBusy))
+			return c.retired - start, &DeadlockError{
+				Cycle: c.cycle, Retired: c.retired,
+				ROB: len(c.rob), FetchBuf: len(c.fetchBuf),
+				IntQ: len(c.intQ), MemQ: len(c.memQ), FpQ: len(c.fpQ),
+				STQ: len(c.stq), MSHRs: c.mshrsBusy,
+			}
 		}
 	}
-	return c.retired - start
+	return c.retired - start, nil
 }
 
 // recordRun publishes one Run call's throughput into the registry.

@@ -1,0 +1,35 @@
+package boom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is the sentinel matched by errors.Is when the detailed model
+// detects a stuck pipeline. The concrete error is a *DeadlockError carrying
+// the pipeline state at detection time.
+var ErrDeadlock = errors.New("boom: pipeline deadlock")
+
+// DeadlockError reports a pipeline that stopped retiring instructions — a
+// model bug, not a workload property. It is returned by Run (never
+// panicked) so a supervising sweep can fail the one (workload, config)
+// task, keep its siblings, and log enough state to debug the model.
+type DeadlockError struct {
+	Cycle    uint64
+	Retired  uint64
+	ROB      int
+	FetchBuf int
+	IntQ     int
+	MemQ     int
+	FpQ      int
+	STQ      int
+	MSHRs    int
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("boom: pipeline deadlock at cycle %d (retired %d, rob %d, fb %d, intQ %d, memQ %d, fpQ %d, stq %d, mshrs %d)",
+		e.Cycle, e.Retired, e.ROB, e.FetchBuf, e.IntQ, e.MemQ, e.FpQ, e.STQ, e.MSHRs)
+}
+
+// Is matches the ErrDeadlock sentinel.
+func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }

@@ -75,7 +75,7 @@ func TestRandomProgramsThroughPipeline(t *testing.T) {
 		}
 		for _, cfg := range Configs() {
 			cpu := newCPUFor(t, p)
-			core := New(cfg)
+			core := mustNew(t, cfg)
 			core.CheckInvariants(true)
 			func() {
 				defer func() {
@@ -83,7 +83,7 @@ func TestRandomProgramsThroughPipeline(t *testing.T) {
 						t.Fatalf("trial %d on %s: %v\nprogram:\n%s", trial, cfg.Name, r, src)
 					}
 				}()
-				core.Run(traceFrom(t, cpu), ^uint64(0))
+				mustRun(t, core, traceFrom(t, cpu), ^uint64(0))
 			}()
 			if core.Stats().Insts != want {
 				t.Fatalf("trial %d on %s: retired %d, functional %d",

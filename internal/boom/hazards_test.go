@@ -192,9 +192,9 @@ loop:
 	cfg.LdqEntries = 4
 	p := mustProgram(t, src)
 	cpu := newCPUFor(t, p)
-	core := New(cfg)
+	core := mustNew(t, cfg)
 	core.CheckInvariants(true)
-	core.Run(traceFrom(t, cpu), ^uint64(0))
+	mustRun(t, core, traceFrom(t, cpu), ^uint64(0))
 	if core.Stats().Insts < 25000 {
 		t.Fatalf("retired %d", core.Stats().Insts)
 	}

@@ -23,7 +23,7 @@ func TestInvariantsHoldAcrossSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			core := New(cfg)
+			core := mustNew(t, cfg)
 			core.CheckInvariants(true)
 			func() {
 				defer func() {
@@ -31,7 +31,7 @@ func TestInvariantsHoldAcrossSuite(t *testing.T) {
 						t.Fatalf("%s on %s: %v", name, cfg.Name, r)
 					}
 				}()
-				core.Run(traceFrom(t, cpu), math.MaxUint64)
+				mustRun(t, core, traceFrom(t, cpu), math.MaxUint64)
 			}()
 			if core.Stats().Insts == 0 {
 				t.Fatalf("%s on %s retired nothing", name, cfg.Name)
@@ -49,7 +49,7 @@ func TestInvariantsWithGShare(t *testing.T) {
 		t.Fatal(err)
 	}
 	cpu, _ := w.NewCPU()
-	core := New(cfg)
+	core := mustNew(t, cfg)
 	core.CheckInvariants(true)
-	core.Run(traceFrom(t, cpu), math.MaxUint64)
+	mustRun(t, core, traceFrom(t, cpu), math.MaxUint64)
 }

@@ -18,10 +18,10 @@ loop:
 `
 	p := mustProgram(t, src)
 	cpu := newCPUFor(t, p)
-	core := New(MediumBOOM())
+	core := mustNew(t, MediumBOOM())
 	var buf bytes.Buffer
 	core.SetPipeTrace(&buf, 10)
-	core.Run(traceFrom(t, cpu), ^uint64(0))
+	mustRun(t, core, traceFrom(t, cpu), ^uint64(0))
 	out := buf.String()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	// Header + 10 uops + limit marker.

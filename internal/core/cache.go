@@ -172,7 +172,9 @@ func (r *Runner) stageCached(key artifact.Key,
 		return cachedCost, nil
 	}
 	if err := r.cache.Put(key, fresh, computed); err != nil {
-		return 0, err
+		// A failed write is environmental (disk, permissions, injected
+		// chaos) — the stage itself computed fine — so mark it retryable.
+		return 0, Transient(fmt.Errorf("caching %s artifact: %w", key.Stage, err))
 	}
 	return computed, nil
 }

@@ -136,25 +136,38 @@ func (r *Result) PerfPerWatt() float64 {
 	return r.IPC() / (r.TotalPowerMW() / 1000.0)
 }
 
-// traceFn adapts a functional CPU into a timing-model trace source.
-func traceFn(cpu *sim.CPU) func(*sim.Retired) bool {
-	return func(r *sim.Retired) bool {
-		if cpu.Halted {
-			return false
-		}
-		if err := cpu.Step(r); err != nil {
-			panic(fmt.Sprintf("core: functional step diverged: %v", err))
-		}
-		return true
-	}
+// traceSource adapts a functional CPU into a timing-model trace source.
+// A functional-step divergence ends the trace and is captured in err for
+// the caller to surface as a stage failure (never a panic).
+type traceSource struct {
+	cpu *sim.CPU
+	err error
 }
 
-// Sweep holds a full experiment: every workload × configuration.
+func (t *traceSource) next(r *sim.Retired) bool {
+	if t.err != nil || t.cpu.Halted {
+		return false
+	}
+	if err := t.cpu.Step(r); err != nil {
+		t.err = fmt.Errorf("core: functional step diverged: %w", err)
+		return false
+	}
+	return true
+}
+
+// Sweep holds a full experiment: every workload × configuration. Under
+// WithKeepGoing the maps may be partial — a failed profile leaves its
+// workload out of Profiles, a failed measurement leaves its (config,
+// workload) cell out of Results — while Names and ConfigNames always
+// record the full campaign as requested, so reports can render explicit
+// FAILED cells instead of silently shrinking.
 type Sweep struct {
-	Flow     FlowConfig
-	Scale    workloads.Scale
-	Profiles map[string]*Profile           // by workload
-	Results  map[string]map[string]*Result // [config][workload]
+	Flow        FlowConfig
+	Scale       workloads.Scale
+	Names       []string                      // requested workloads, request order
+	ConfigNames []string                      // requested configs, request order
+	Profiles    map[string]*Profile           // by workload (may be partial)
+	Results     map[string]map[string]*Result // [config][workload] (may be partial)
 }
 
 // SpeedupReport quantifies the simulation-time reduction of the SimPoint

@@ -339,8 +339,17 @@ func TestRunFullMatchesDirectModel(t *testing.T) {
 	}
 	w2, _ := workloads.Build("bitcount", workloads.ScaleTiny)
 	cpu, _ := w2.NewCPU()
-	core := boom.New(boom.MediumBOOM())
-	core.Run(traceFn(cpu), ^uint64(0))
+	core, err := boom.New(boom.MediumBOOM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &traceSource{cpu: cpu}
+	if _, err := core.Run(ts.next, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if ts.err != nil {
+		t.Fatal(ts.err)
+	}
 	if full.Stats.Cycles != core.Stats().Cycles || full.Stats.Insts != core.Stats().Insts {
 		t.Fatalf("RunFull %d/%d vs direct %d/%d",
 			full.Stats.Insts, full.Stats.Cycles, core.Stats().Insts, core.Stats().Cycles)

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/boom"
+)
+
+// This file implements the sweep's crash-resume journal: an append-only
+// JSONL write-ahead log living next to the artifact cache. Every sweep task
+// (one workload profile, one (workload, config) measurement) writes a
+// "start" record before it runs and a "done" or "fail" record after, one
+// JSON object per line, flushed per record, so a killed process loses at
+// most the record being written.
+//
+// The journal is the bookkeeping layer over the content-addressed cache:
+// the cache holds the results, the journal holds the campaign's progress.
+// On -resume, tasks with a "done" record are replayed straight through
+// their cache artifacts (no recomputation); tasks that were in flight or
+// failed run again. A header record pins the sweep's identity — workload
+// set, configurations, flow parameters, scale — so a journal is never
+// replayed against a different campaign.
+
+// journalName is the journal's file name under the cache directory.
+const journalName = "sweep.journal"
+
+// journalRecord is one JSONL line.
+type journalRecord struct {
+	Ev   string `json:"ev"`             // "sweep" (header), "start", "done", "fail"
+	ID   string `json:"id,omitempty"`   // sweep fingerprint (header only)
+	Task string `json:"task,omitempty"` // e.g. "profile/sha", "measure/MegaBOOM/sha"
+	NS   int64  `json:"ns,omitempty"`   // task wall-clock (done only)
+	Err  string `json:"err,omitempty"`  // failure message (fail only)
+}
+
+// journal is an open, append-only WAL. All methods are safe for concurrent
+// use; a nil *journal is inert so the sweep path needs no guards.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (j *journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	j.f.Write(line) // one write syscall per record: crash loses ≤1 line
+	j.mu.Unlock()
+}
+
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// sweepID fingerprints a campaign: the exact workload list, configuration
+// list, flow parameters and scale. Reuses the artifact cache's canonical
+// encoding, so any drift in any input yields a different ID and a stale
+// journal is ignored rather than replayed.
+func (r *Runner) sweepID(names []string, configs []boom.Config) string {
+	return artifact.NewKey("sweep", 1, struct {
+		Names   []string
+		Configs []boom.Config
+		Flow    FlowConfig
+		Scale   int
+	}{names, configs, r.fc, int(r.scale)}).Hex()
+}
+
+// loadJournal parses an existing journal and returns the set of tasks with
+// a "done" record, provided the header matches wantID. A missing file, a
+// foreign campaign, or an unreadable header all return an empty set — the
+// sweep then simply starts from scratch. Truncated trailing lines (the
+// record being written when the process died) are skipped, not fatal.
+func loadJournal(path, wantID string) (done map[string]bool, prevFailed int) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0
+	}
+	defer f.Close()
+	done = map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	first := true
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn write from a crash: ignore the fragment
+		}
+		if first {
+			if rec.Ev != "sweep" || rec.ID != wantID {
+				return nil, 0 // different campaign: never replay
+			}
+			first = false
+			continue
+		}
+		switch rec.Ev {
+		case "done":
+			done[rec.Task] = true
+		case "fail":
+			prevFailed++
+		}
+	}
+	return done, prevFailed
+}
+
+// openSweepJournal prepares the WAL for one Sweep call. Without a cache
+// the journal is disabled (nil, empty set). With WithResume, a matching
+// prior journal yields the done-set and the file is extended in place;
+// otherwise the file is truncated and a fresh header written.
+func (r *Runner) openSweepJournal(names []string, configs []boom.Config) (*journal, map[string]bool) {
+	if r.cache == nil {
+		return nil, nil
+	}
+	id := r.sweepID(names, configs)
+	path := filepath.Join(r.cache.Dir(), journalName)
+	var done map[string]bool
+	if r.resume {
+		var prevFailed int
+		done, prevFailed = loadJournal(path, id)
+		if len(done) > 0 || prevFailed > 0 {
+			r.note("resume: journal lists %d finished task(s), %d failed — rerunning the rest", len(done), prevFailed)
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		r.note("journal disabled: %v", err)
+		return nil, done
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if len(done) > 0 {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		r.note("journal disabled: %v", err)
+		return nil, done
+	}
+	jn := &journal{f: f}
+	if len(done) == 0 {
+		jn.append(journalRecord{Ev: "sweep", ID: id})
+	}
+	return jn, done
+}
+
+// JournalPath returns the sweep journal location for a cache directory
+// (diagnostics and tests).
+func JournalPath(cacheDir string) string {
+	return filepath.Join(cacheDir, journalName)
+}

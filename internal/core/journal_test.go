@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/boom"
+)
+
+// TestLoadJournalTornLines: a journal whose tail was cut mid-record by a
+// crash must still yield every intact "done" record.
+func TestLoadJournalTornLines(t *testing.T) {
+	r := New(DefaultFlowConfig())
+	names := []string{"sha", "bitcount"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	id := r.sweepID(names, cfgs)
+
+	path := filepath.Join(t.TempDir(), journalName)
+	body := `{"ev":"sweep","id":"` + id + `"}
+{"ev":"start","task":"profile/sha"}
+{"ev":"done","task":"profile/sha","ns":7}
+{"ev":"start","task":"profile/bitcount"}
+{"ev":"done","task":"profile/bitcoun` // torn: process died mid-write
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, failed := loadJournal(path, id)
+	if !done["profile/sha"] {
+		t.Error("intact done record not loaded")
+	}
+	if done["profile/bitcount"] {
+		t.Error("torn record must not count as done")
+	}
+	if len(done) != 1 || failed != 0 {
+		t.Errorf("done=%v failed=%d, want exactly the one intact record", done, failed)
+	}
+}
+
+// TestLoadJournalForeignCampaign: a journal header from a different
+// campaign (or no header at all) must never be replayed.
+func TestLoadJournalForeignCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalName)
+	body := `{"ev":"sweep","id":"deadbeef"}
+{"ev":"done","task":"profile/sha","ns":7}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := loadJournal(path, "cafef00d"); len(done) != 0 {
+		t.Errorf("foreign campaign replayed %d tasks", len(done))
+	}
+
+	headerless := `{"ev":"done","task":"profile/sha","ns":7}` + "\n"
+	if err := os.WriteFile(path, []byte(headerless), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := loadJournal(path, "cafef00d"); len(done) != 0 {
+		t.Errorf("headerless journal replayed %d tasks", len(done))
+	}
+
+	if done, _ := loadJournal(filepath.Join(t.TempDir(), "absent"), "x"); len(done) != 0 {
+		t.Error("missing journal must yield an empty set")
+	}
+}
+
+// TestSweepIDSensitivity: any campaign input drift — workload set, config
+// set, flow parameters, scale — must change the fingerprint.
+func TestSweepIDSensitivity(t *testing.T) {
+	names := []string{"sha", "bitcount"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	base := New(DefaultFlowConfig()).sweepID(names, cfgs)
+
+	if got := New(DefaultFlowConfig()).sweepID(names, cfgs); got != base {
+		t.Error("identical campaign must fingerprint identically")
+	}
+	if got := New(DefaultFlowConfig()).sweepID([]string{"sha"}, cfgs); got == base {
+		t.Error("workload-set drift not detected")
+	}
+	if got := New(DefaultFlowConfig()).sweepID(names, []boom.Config{boom.MegaBOOM()}); got == base {
+		t.Error("config-set drift not detected")
+	}
+	fc := DefaultFlowConfig()
+	fc.WarmupInsts++
+	if got := New(fc).sweepID(names, cfgs); got == base {
+		t.Error("flow-parameter drift not detected")
+	}
+}
+
+// TestJournalWrittenDuringSweep: with a cache attached, a sweep leaves a
+// complete journal (header + start/done per task) at JournalPath.
+func TestJournalWrittenDuringSweep(t *testing.T) {
+	dir := t.TempDir()
+	r := New(DefaultFlowConfig(), WithCache(dir))
+	names := []string{"sha"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	if _, err := r.Sweep(context.Background(), names, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	done, failed := loadJournal(JournalPath(dir), r.sweepID(names, cfgs))
+	if failed != 0 {
+		t.Errorf("clean sweep journaled %d failures", failed)
+	}
+	for _, task := range []string{"profile/sha", "measure/MediumBOOM/sha"} {
+		if !done[task] {
+			t.Errorf("journal missing done record for %s (have %v)", task, done)
+		}
+	}
+	if len(done) != 2 {
+		t.Errorf("journal lists %d done tasks, want 2", len(done))
+	}
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/artifact"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/bbv"
 	"repro/internal/boom"
 	"repro/internal/ckpt"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -41,14 +45,29 @@ func Stages() []string {
 // value is not usable. A Runner is safe for concurrent use: it holds only
 // immutable configuration plus an optional metrics registry and artifact
 // cache (both internally synchronized).
+//
+// Sweep runs under supervision: worker panics are recovered into
+// *StageError (never crash the process), per-stage watchdogs bound runaway
+// stages (WithStageTimeout), transient faults retry with exponential
+// backoff (WithRetry), failures can be collected instead of aborting the
+// campaign (WithKeepGoing), and — with a cache attached — an append-only
+// journal makes killed sweeps resumable (WithResume).
 type Runner struct {
-	fc       FlowConfig
-	scale    workloads.Scale
-	reg      *metrics.Registry
-	par      int
-	progress func(string)
-	cache    *artifact.Cache
-	verify   bool
+	fc           FlowConfig
+	scale        workloads.Scale
+	reg          *metrics.Registry
+	par          int
+	progress     func(string)
+	cache        *artifact.Cache
+	verify       bool
+	stageTimeout time.Duration
+	retryMax     int
+	retryBase    time.Duration
+	keepGoing    bool
+	resume       bool
+	inj          *faultinject.Injector
+	taskHook     func(completed int)
+	tasksDone    atomic.Int64
 }
 
 // Option configures a Runner.
@@ -107,6 +126,72 @@ func WithCacheVerify(v bool) Option {
 	return func(r *Runner) { r.verify = v }
 }
 
+// WithStageTimeout bounds each pipeline stage execution with a deadline: a
+// workload's profile/select/checkpoint stages individually, and each
+// (workload, config) measurement body as one unit. Enforcement is
+// cooperative — the deadline is observed at the same interval boundaries
+// as context cancellation — and a tripped watchdog surfaces as a transient
+// error (errors.Is context.DeadlineExceeded), so WithRetry can re-run the
+// stage. Zero (the default) disables the watchdog.
+func WithStageTimeout(d time.Duration) Option {
+	return func(r *Runner) { r.stageTimeout = d }
+}
+
+// WithRetry allows up to n retries (n+1 attempts) per sweep task when the
+// failure is transient (see IsTransient): injected chaos, cache I/O, a
+// tripped watchdog. Waits between attempts grow exponentially from base
+// (base, 2·base, 4·base, …). Deterministic model errors — deadlocks,
+// invalid configs, diverged checkpoints — are never retried. Retries apply
+// to Sweep tasks; direct Profile/Run calls fail on first error.
+func WithRetry(n int, base time.Duration) Option {
+	return func(r *Runner) {
+		if n < 0 {
+			n = 0
+		}
+		if base <= 0 {
+			base = 10 * time.Millisecond
+		}
+		r.retryMax, r.retryBase = n, base
+	}
+}
+
+// WithKeepGoing makes Sweep run every task regardless of failures, collect
+// every task error into a *SweepErrors, and still return all successfully
+// measured Results: a long campaign loses exactly the faulted (workload,
+// config) pairs, nothing else. Without it (the default), the first failure
+// aborts the sweep and the remaining tasks are drained unrun.
+func WithKeepGoing(v bool) Option {
+	return func(r *Runner) { r.keepGoing = v }
+}
+
+// WithResume replays the sweep journal left under the cache directory by a
+// previous (killed or failed) run of the identical campaign: tasks with a
+// "done" record are served straight from their cache artifacts and only
+// unfinished or failed tasks recompute. Requires WithCache; a journal from
+// a different campaign (different workloads, configs, flow parameters or
+// scale) is ignored.
+func WithResume(v bool) Option {
+	return func(r *Runner) { r.resume = v }
+}
+
+// WithFaultInjector attaches a deterministic fault-injection plan (see
+// internal/faultinject). The injector is threaded into every fault site
+// the Runner controls: core.profile/<wl>, core.measure/<wl>/<cfg>,
+// boom.tick/<wl>/<cfg> inside the detailed model, and the artifact cache's
+// read/write sites. Nil (the default) disables every site.
+func WithFaultInjector(inj *faultinject.Injector) Option {
+	return func(r *Runner) { r.inj = inj }
+}
+
+// WithTaskHook installs fn, called after every successfully completed
+// sweep task with the Runner's running completion count. This is an
+// operational hook for crash drills and progress-driven tooling (e.g.
+// "kill the process after N tasks" in resume tests); fn runs on worker
+// goroutines and must be safe for concurrent use.
+func WithTaskHook(fn func(completed int)) Option {
+	return func(r *Runner) { r.taskHook = fn }
+}
+
 // New returns a Runner for the given flow configuration.
 func New(fc FlowConfig, opts ...Option) *Runner {
 	r := &Runner{
@@ -122,7 +207,9 @@ func New(fc FlowConfig, opts ...Option) *Runner {
 	}
 	if r.cache != nil {
 		r.cache.SetMetrics(r.reg)
+		r.cache.SetFaultInjector(r.inj)
 	}
+	r.inj.SetMetrics(r.reg)
 	return r
 }
 
@@ -158,10 +245,19 @@ func (r *Runner) note(format string, args ...interface{}) {
 	}
 }
 
+// stageCtx derives the per-stage watchdog deadline (WithStageTimeout).
+func (r *Runner) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.stageTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, r.stageTimeout)
+}
+
 // Profile runs steps 1–3 of the flow (profile → select → checkpoint) for
 // one already-built workload. Cancellation is cooperative: the context is
-// checked at interval boundaries of the functional execution. With a
-// cache attached, each step is served from its artifact when present.
+// checked at interval boundaries of the functional execution, where any
+// WithStageTimeout deadline is observed too. With a cache attached, each
+// step is served from its artifact when present.
 func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, error) {
 	defer r.flowLap()()
 
@@ -187,6 +283,11 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			return nil
 		},
 		func() error {
+			sctx, cancel := r.stageCtx(ctx)
+			defer cancel()
+			if ierr := r.inj.Hit("core.profile", w.Name); ierr != nil {
+				return ierr
+			}
 			cpu, cerr := w.NewCPU()
 			if cerr != nil {
 				return cerr
@@ -195,7 +296,7 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			profiler := bbv.NewProfiler(w.IntervalSize)
 			var n int64
 			for !cpu.Halted {
-				if cerr := ctx.Err(); cerr != nil {
+				if cerr := sctx.Err(); cerr != nil {
 					return cerr
 				}
 				ran, rerr := cpu.RunTrace(w.IntervalSize, profiler.Observe)
@@ -277,6 +378,8 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			return nil
 		},
 		func() error {
+			sctx, cancel := r.stageCtx(ctx)
+			defer cancel()
 			type capturePoint struct {
 				at       int64 // instruction count where the checkpoint is taken
 				selIdx   int
@@ -303,7 +406,7 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			var executed int64
 			for _, cp := range caps {
 				for executed < cp.at {
-					if cerr := ctx.Err(); cerr != nil {
+					if cerr := sctx.Err(); cerr != nil {
 						return cerr
 					}
 					step := cp.at - executed
@@ -377,8 +480,19 @@ func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result,
 }
 
 // measure is the compute body of Run: warm up, measure and estimate every
-// simulation point, filling res (everything but MeasureWallNS).
+// simulation point, filling res (everything but MeasureWallNS). res is
+// only written after the full measurement succeeds, so a failed attempt
+// never leaks partial state into a retry.
 func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *Result) error {
+	serr := func(stage string, err error) error {
+		return &StageError{Stage: stage, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+	}
+	mctx, cancel := r.stageCtx(ctx)
+	defer cancel()
+	if err := r.inj.Hit("core.measure", p.Workload.Name, cfg.Name); err != nil {
+		return serr(StageMeasure, err)
+	}
+
 	est := power.NewEstimator(cfg, r.fc.Lib)
 	est.SetMetrics(r.reg)
 	agg := boom.NewStats(&cfg)
@@ -388,11 +502,11 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 
 	prog, err := p.Workload.Program()
 	if err != nil {
-		return &StageError{Stage: StageWarmup, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+		return serr(StageWarmup, err)
 	}
 	for i, k := range p.Checkpoints {
-		if cerr := ctx.Err(); cerr != nil {
-			return &StageError{Stage: StageMeasure, Workload: p.Workload.Name, Config: cfg.Name, Err: cerr}
+		if cerr := mctx.Err(); cerr != nil {
+			return serr(StageMeasure, cerr)
 		}
 		// Warm-up: restore the architectural checkpoint into a fresh
 		// functional+timing pair and prime caches and predictors.
@@ -400,19 +514,33 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		cpu := sim.New()
 		cpu.Load(prog) // establish the decode window
 		k.Restore(cpu)
-		core := boom.New(cfg)
+		core, nerr := boom.New(cfg)
+		if nerr != nil {
+			endStage()
+			return serr(StageWarmup, nerr)
+		}
 		core.SetMetrics(r.reg)
-		next := traceFn(cpu)
+		core.SetFaultInjector(r.inj, p.Workload.Name, cfg.Name)
+		ts := &traceSource{cpu: cpu}
 		if warm := uint64(p.WarmupInsts[i]); warm > 0 {
-			core.Run(next, warm)
+			if _, rerr := core.Run(ts.next, warm); rerr != nil {
+				endStage()
+				return serr(StageWarmup, rerr)
+			}
 			detailed += warm
 		}
 		core.ResetStats()
 		endStage()
 
 		endStage = r.stage(StageMeasure)
-		ran := core.Run(next, uint64(p.Workload.IntervalSize))
+		ran, rerr := core.Run(ts.next, uint64(p.Workload.IntervalSize))
 		endStage()
+		if rerr != nil {
+			return serr(StageMeasure, rerr)
+		}
+		if ts.err != nil {
+			return serr(StageMeasure, ts.err)
+		}
 		detailed += ran
 		st := core.Stats()
 
@@ -438,7 +566,7 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 	rep, err := est.Estimate(agg)
 	endStage()
 	if err != nil {
-		return &StageError{Stage: StageEstimate, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
+		return serr(StageEstimate, err)
 	}
 	// Normalize the weighted slot powers by coverage so partial coverage
 	// does not deflate them.
@@ -487,13 +615,22 @@ func (r *Runner) RunFull(ctx context.Context, w *workloads.Workload, cfg boom.Co
 
 // measureFull is the compute body of RunFull.
 func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boom.Config, res *Result) error {
+	serr := func(stage string, err error) error {
+		return &StageError{Stage: stage, Workload: w.Name, Config: cfg.Name, Err: err}
+	}
+	mctx, cancel := r.stageCtx(ctx)
+	defer cancel()
 	cpu, err := w.NewCPU()
 	if err != nil {
-		return &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: err}
+		return serr(StageMeasure, err)
 	}
-	core := boom.New(cfg)
+	core, err := boom.New(cfg)
+	if err != nil {
+		return serr(StageMeasure, err)
+	}
 	core.SetMetrics(r.reg)
-	next := traceFn(cpu)
+	core.SetFaultInjector(r.inj, w.Name, cfg.Name)
+	ts := &traceSource{cpu: cpu}
 
 	endStage := r.stage(StageMeasure)
 	chunk := uint64(w.IntervalSize)
@@ -502,14 +639,22 @@ func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boo
 	}
 	var ran uint64
 	for {
-		n := core.Run(next, chunk)
+		n, rerr := core.Run(ts.next, chunk)
 		ran += n
+		if rerr != nil {
+			endStage()
+			return serr(StageMeasure, rerr)
+		}
+		if ts.err != nil {
+			endStage()
+			return serr(StageMeasure, ts.err)
+		}
 		if n < chunk {
 			break
 		}
-		if cerr := ctx.Err(); cerr != nil {
+		if cerr := mctx.Err(); cerr != nil {
 			endStage()
-			return &StageError{Stage: StageMeasure, Workload: w.Name, Config: cfg.Name, Err: cerr}
+			return serr(StageMeasure, cerr)
 		}
 	}
 	endStage()
@@ -521,7 +666,7 @@ func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boo
 	rep, err := est.Estimate(st)
 	endStage()
 	if err != nil {
-		return &StageError{Stage: StageEstimate, Workload: w.Name, Config: cfg.Name, Err: err}
+		return serr(StageEstimate, err)
 	}
 	res.TotalInsts = st.Insts
 	res.IntervalSize = w.IntervalSize
@@ -536,8 +681,15 @@ func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boo
 // evaluates it on every config with the SimPoint flow. Work is spread
 // across the Runner's parallelism — every (workload, config) measurement
 // is independent and deterministic, so results are bit-identical to a
-// serial run regardless of worker count, metrics attachment, or cache
-// state.
+// serial run regardless of worker count, metrics attachment, cache state,
+// retries, or which sibling tasks failed.
+//
+// Failure semantics: by default the first task error aborts the sweep
+// (remaining tasks drain unrun) and Sweep returns (nil, err). Under
+// WithKeepGoing, every task runs, all failures are collected into a
+// *SweepErrors, and Sweep returns the partial *Sweep TOGETHER WITH the
+// error — callers render what succeeded and report what did not. Missing
+// entries in Results mark the failed pairs.
 func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Config) (*Sweep, error) {
 	var noteMu sync.Mutex
 	note := func(format string, args ...interface{}) {
@@ -548,93 +700,177 @@ func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Confi
 	sw := &Sweep{
 		Flow:     r.fc,
 		Scale:    r.scale,
+		Names:    append([]string(nil), names...),
 		Profiles: map[string]*Profile{},
 		Results:  map[string]map[string]*Result{},
 	}
+	for _, cfg := range configs {
+		sw.ConfigNames = append(sw.ConfigNames, cfg.Name)
+		sw.Results[cfg.Name] = map[string]*Result{}
+	}
+	jn, doneSet := r.openSweepJournal(names, configs)
+	defer jn.Close()
 	var mu sync.Mutex
 
 	// Phase 1: profile every workload (parallel across workloads).
-	err := r.runTasks(ctx, len(names), func(i int) error {
-		name := names[i]
-		w, err := workloads.Build(name, r.scale)
-		if err != nil {
-			return err
-		}
-		note("profiling %-14s (%s scale)", name, r.scale)
-		p, err := r.Profile(ctx, w)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		sw.Profiles[name] = p
-		mu.Unlock()
-		note("  %-14s %d insts, %d intervals, k=%d, %d simpoints, %.0f%% coverage",
-			name, p.TotalInsts, len(p.Vectors), p.Selection.K, p.NumSimPoints(),
-			100*p.Selection.Coverage)
-		return nil
+	profErr := r.runTasks(ctx, jn, doneSet, taskSet{
+		stage: StageProfile,
+		n:     len(names),
+		id:    func(i int) taskID { return taskID{kind: "profile", workload: names[i]} },
+		do: func(ctx context.Context, i int) error {
+			name := names[i]
+			w, err := workloads.Build(name, r.scale)
+			if err != nil {
+				return wrapStage(StageProfile, name, "", err)
+			}
+			note("profiling %-14s (%s scale)", name, r.scale)
+			p, err := r.Profile(ctx, w)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			sw.Profiles[name] = p
+			mu.Unlock()
+			note("  %-14s %d insts, %d intervals, k=%d, %d simpoints, %.0f%% coverage",
+				name, p.TotalInsts, len(p.Vectors), p.Selection.K, p.NumSimPoints(),
+				100*p.Selection.Coverage)
+			return nil
+		},
 	})
-	if err != nil {
-		return nil, err
+	if profErr != nil && !r.keepGoing {
+		return nil, profErr
 	}
 
-	// Phase 2: measure every (config, workload) pair (parallel).
+	// Phase 2: measure every (config, workload) pair (parallel). Pairs
+	// whose workload failed to profile are already accounted in profErr
+	// and skipped here.
 	type pair struct {
 		cfg  boom.Config
 		name string
 	}
 	var pairs []pair
 	for _, cfg := range configs {
-		sw.Results[cfg.Name] = map[string]*Result{}
 		for _, name := range names {
+			if sw.Profiles[name] == nil {
+				continue
+			}
 			pairs = append(pairs, pair{cfg, name})
 		}
 	}
-	err = r.runTasks(ctx, len(pairs), func(i int) error {
-		pr := pairs[i]
-		note("measuring %-14s on %s", pr.name, pr.cfg.Name)
-		res, err := r.Run(ctx, sw.Profiles[pr.name], pr.cfg)
-		if err != nil {
-			return err
+	var measErr error
+	if ctx.Err() == nil {
+		measErr = r.runTasks(ctx, jn, doneSet, taskSet{
+			stage: StageMeasure,
+			n:     len(pairs),
+			id: func(i int) taskID {
+				return taskID{kind: "measure", workload: pairs[i].name, config: pairs[i].cfg.Name}
+			},
+			do: func(ctx context.Context, i int) error {
+				pr := pairs[i]
+				note("measuring %-14s on %s", pr.name, pr.cfg.Name)
+				res, err := r.Run(ctx, sw.Profiles[pr.name], pr.cfg)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				sw.Results[pr.cfg.Name][pr.name] = res
+				mu.Unlock()
+				return nil
+			},
+		})
+	} else if profErr == nil {
+		profErr = &StageError{Stage: StageMeasure, Err: ctx.Err()}
+	}
+	if !r.keepGoing {
+		if measErr != nil {
+			return nil, measErr
 		}
-		mu.Lock()
-		sw.Results[pr.cfg.Name][pr.name] = res
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return sw, nil
+	}
+	var errs []error
+	for _, e := range []error{profErr, measErr} {
+		var se *SweepErrors
+		switch {
+		case e == nil:
+		case errors.As(e, &se):
+			errs = append(errs, se.Errs...)
+		default:
+			errs = append(errs, e)
+		}
+	}
+	if len(errs) > 0 {
+		return sw, &SweepErrors{Errs: errs}
 	}
 	return sw, nil
 }
 
-// runTasks runs do(0..n-1) on a fixed worker pool, recording per-worker
-// busy time and utilization plus task queue-wait into the registry. The
-// first error wins; remaining queued tasks are drained without running.
-func (r *Runner) runTasks(ctx context.Context, n int, do func(i int) error) error {
-	if n == 0 {
+// taskID names one sweep task for journaling and failure identity.
+type taskID struct {
+	kind     string // "profile" | "measure"
+	workload string
+	config   string // empty for profile tasks
+}
+
+func (id taskID) label() string {
+	if id.config == "" {
+		return id.kind + "/" + id.workload
+	}
+	return id.kind + "/" + id.config + "/" + id.workload
+}
+
+func (id taskID) stage() string {
+	if id.kind == "profile" {
+		return StageProfile
+	}
+	return StageMeasure
+}
+
+// taskSet is one parallel phase of a sweep.
+type taskSet struct {
+	stage string
+	n     int
+	id    func(i int) taskID
+	do    func(ctx context.Context, i int) error
+}
+
+// runTasks runs a task set on a fixed worker pool under supervision,
+// recording per-worker busy time and utilization plus task queue-wait into
+// the registry. Fail-fast mode (the default) returns the first error and
+// drains the remaining queue unrun; keep-going mode runs everything and
+// returns a *SweepErrors. Drained tasks increment core.sweep.tasks_drained
+// and are excluded from the tasks counter, queue-wait histogram and worker
+// busy time. A canceled context surfaces as a *StageError naming the phase
+// in flight and wrapping ctx.Err().
+func (r *Runner) runTasks(ctx context.Context, jn *journal, doneSet map[string]bool, ts taskSet) error {
+	if ts.n == 0 {
 		return nil
 	}
 	workers := r.par
-	if workers > n {
-		workers = n
+	if workers > ts.n {
+		workers = ts.n
 	}
 	type item struct {
 		idx        int
 		enqueuedNS int64
 	}
-	ch := make(chan item, n)
+	ch := make(chan item, ts.n)
 	start := time.Now()
 	qwait := r.reg.Histogram("core.sweep.queue_wait_ns")
 	tasks := r.reg.Counter("core.sweep.tasks")
+	drained := r.reg.Counter("core.sweep.tasks_drained")
 
 	var mu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
+	var errs []error
+	failed := func() bool {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
+		defer mu.Unlock()
+		return len(errs) > 0
+	}
+	record := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
 		mu.Unlock()
+		r.reg.Counter("core.sweep.tasks_failed").Inc()
 	}
 	busyNS := make([]int64, workers)
 	var wg sync.WaitGroup
@@ -643,23 +879,23 @@ func (r *Runner) runTasks(ctx context.Context, n int, do func(i int) error) erro
 		go func(wk int) {
 			defer wg.Done()
 			for it := range ch {
+				if (!r.keepGoing && failed()) || ctx.Err() != nil {
+					drained.Inc()
+					continue // drain without running (and without accounting)
+				}
 				t0 := time.Now()
 				qwait.Observe(t0.UnixNano() - it.enqueuedNS)
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed || ctx.Err() != nil {
-					continue // drain without running
-				}
-				if err := do(it.idx); err != nil {
-					setErr(err)
+				err := r.runTask(ctx, jn, doneSet, ts.id(it.idx),
+					func(c context.Context) error { return ts.do(c, it.idx) })
+				if err != nil {
+					record(err)
 				}
 				tasks.Inc()
 				busyNS[wk] += time.Since(t0).Nanoseconds()
 			}
 		}(wk)
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < ts.n; i++ {
 		ch <- item{i, time.Now().UnixNano()}
 	}
 	close(ch)
@@ -674,10 +910,84 @@ func (r *Runner) runTasks(ctx context.Context, n int, do func(i int) error) erro
 			}
 		}
 	}
-	if firstErr == nil && ctx.Err() != nil {
-		firstErr = ctx.Err()
+	if cerr := ctx.Err(); cerr != nil {
+		errs = append(errs, &StageError{Stage: ts.stage, Err: cerr})
 	}
-	return firstErr
+	if len(errs) == 0 {
+		return nil
+	}
+	if !r.keepGoing {
+		return errs[0]
+	}
+	return &SweepErrors{Errs: errs}
+}
+
+// runTask supervises one task: journal bookkeeping and resume accounting,
+// then bounded exponential-backoff retries around guarded attempts.
+func (r *Runner) runTask(ctx context.Context, jn *journal, doneSet map[string]bool, id taskID, do func(context.Context) error) error {
+	resumed := doneSet[id.label()]
+	if resumed {
+		r.reg.Counter("core.sweep.tasks_resumed").Inc()
+	} else {
+		jn.append(journalRecord{Ev: "start", Task: id.label()})
+	}
+	t0 := time.Now()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = r.attempt(ctx, id, do)
+		if err == nil || ctx.Err() != nil || attempt > r.retryMax || !IsTransient(err) {
+			if err != nil && attempt > 1 {
+				var se *StageError
+				if errors.As(err, &se) {
+					se.Attempt = attempt
+				}
+			}
+			break
+		}
+		r.reg.Counter("core.sweep.retries").Inc()
+		select {
+		case <-time.After(r.retryBase << (attempt - 1)):
+		case <-ctx.Done():
+		}
+	}
+	if !resumed {
+		if err != nil {
+			jn.append(journalRecord{Ev: "fail", Task: id.label(), Err: err.Error()})
+		} else {
+			jn.append(journalRecord{Ev: "done", Task: id.label(), NS: time.Since(t0).Nanoseconds()})
+		}
+	}
+	if err == nil && r.taskHook != nil {
+		r.taskHook(int(r.tasksDone.Add(1)))
+	}
+	return err
+}
+
+// attempt runs one guarded try of a task: a panic anywhere below —
+// the detailed model, an artifact codec, a workload generator — is
+// recovered into a *StageError carrying the captured stack, and a tripped
+// per-stage watchdog (deadline exceeded while the sweep's own context is
+// still live) is classified transient so the retry policy applies.
+func (r *Runner) attempt(parent context.Context, id taskID, do func(context.Context) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.reg.Counter("core.sweep.panics").Inc()
+			err = &StageError{
+				Stage:    id.stage(),
+				Workload: id.workload,
+				Config:   id.config,
+				Panicked: true,
+				Stack:    debug.Stack(),
+				Err:      fmt.Errorf("panic: %v", p),
+			}
+		}
+	}()
+	err = do(parent)
+	if err != nil && parent.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+		r.reg.Counter("core.sweep.timeouts").Inc()
+		err = Transient(err)
+	}
+	return err
 }
 
 // Validate runs both the SimPoint flow and the full detailed model for

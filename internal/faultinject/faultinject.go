@@ -1,0 +1,327 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// SimPoint pipeline. Production code declares named sites — points where a
+// fault could plausibly occur (a detailed-model tick, an artifact read, the
+// start of a measurement) — and an Injector, parsed from a seeded spec,
+// decides at each site whether to do nothing (the overwhelmingly common
+// case), return an error, panic, sleep, or corrupt a payload.
+//
+// Sites are hierarchical, "/"-separated paths that embed the identity of
+// the work in flight, e.g.
+//
+//	boom.tick/sha/MegaBOOM
+//	core.measure/dijkstra/MediumBOOM
+//	artifact.read/measure
+//
+// Because a site names the exact (workload, config) pair it fires in, a
+// rule that targets one pair is deterministic regardless of sweep
+// parallelism: no other task ever matches it, and hit ordering within one
+// task is the model's own deterministic execution order.
+//
+// Spec grammar (the -chaos flag accepts "SEED:SPEC"):
+//
+//	SPEC  := RULE ("," RULE)*
+//	RULE  := SITE "=" MODE [":" ARG] ["#" SKIP] ["x" TIMES]
+//	SITE  := segment ("/" segment)* — each segment is a path.Match pattern;
+//	         a rule with fewer segments than the site is a prefix match,
+//	         so "boom.tick" matches "boom.tick/sha/MegaBOOM".
+//	MODE  := "panic" | "error" (transient) | "error-perm" | "delay" | "corrupt"
+//	ARG   := delay duration ("50ms") or corrupt bit-flip count ("3")
+//	SKIP  := matching hits to let pass before firing (default 0)
+//	TIMES := matching hits that fire after the skip (default 1; "x*" = all)
+//
+// Examples:
+//
+//	boom.tick/sha/MegaBOOM=panic          panic mid-measurement of one pair
+//	core.measure/fft/*=error              one transient error per fft config
+//	core.measure/qsort/LargeBOOM=error-perm   a deterministic model fault
+//	artifact.read/measure=corrupt:3       flip 3 bits in the next payload read
+//	core.profile/dijkstra=delay:50ms#1x2  sleep on the 2nd and 3rd hits
+//
+// The seed drives payload corruption (which bits flip) so chaos runs are
+// reproducible bit for bit. Injection bookkeeping is atomic; an Injector is
+// safe for concurrent use and a nil *Injector is inert, so call sites need
+// no guards.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Mode is the kind of fault a rule injects.
+type Mode uint8
+
+const (
+	// ModePanic panics with a *Fault at the site (exercises panic isolation).
+	ModePanic Mode = iota + 1
+	// ModeError returns a transient *Fault (self-heals under retry policies).
+	ModeError
+	// ModeErrorPerm returns a permanent *Fault (deterministic model fault).
+	ModeErrorPerm
+	// ModeDelay sleeps at the site (exercises deadline watchdogs).
+	ModeDelay
+	// ModeCorrupt flips payload bits at Corrupt sites (exercises checksum
+	// recovery paths).
+	ModeCorrupt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeError:
+		return "error"
+	case ModeErrorPerm:
+		return "error-perm"
+	case ModeDelay:
+		return "delay"
+	case ModeCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Fault is the error (or panic value) an Injector produces. It records the
+// site and rule that fired so failures are attributable in logs and tests.
+type Fault struct {
+	Site string
+	Rule string
+	Mode Mode
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: %s injected at %s (rule %q)", f.Mode, f.Site, f.Rule)
+}
+
+// Transient reports whether the fault is retryable; this is the method the
+// core error taxonomy looks for.
+func (f *Fault) Transient() bool { return f.Mode == ModeError }
+
+// rule is one parsed RULE with its atomic matching-hit counter.
+type rule struct {
+	raw   string
+	segs  []string
+	mode  Mode
+	delay time.Duration
+	bits  int
+	skip  int64
+	times int64 // -1 = unlimited
+	hits  atomic.Int64
+}
+
+// fires consumes one matching hit and reports whether the rule triggers.
+func (r *rule) fires() bool {
+	n := r.hits.Add(1)
+	if n <= r.skip {
+		return false
+	}
+	return r.times < 0 || n <= r.skip+r.times
+}
+
+// match reports whether the rule's pattern covers the site path. A pattern
+// with fewer segments is a prefix match; every present segment must
+// path.Match its counterpart.
+func (r *rule) match(site []string) bool {
+	if len(r.segs) > len(site) {
+		return false
+	}
+	for i, pat := range r.segs {
+		ok, err := path.Match(pat, site[i])
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Injector evaluates a parsed fault plan at named sites. The zero value and
+// the nil pointer are inert.
+type Injector struct {
+	seed  uint64
+	rules []*rule
+	reg   *metrics.Registry
+}
+
+// Parse builds an Injector from "SEED:SPEC" (see the package comment for
+// the grammar). An empty string yields a nil, inert Injector.
+func Parse(s string) (*Injector, error) {
+	if s == "" {
+		return nil, nil
+	}
+	head, spec, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: spec %q: want SEED:SPEC", s)
+	}
+	seed, err := strconv.ParseUint(head, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: seed %q: %v", head, err)
+	}
+	in := &Injector{seed: seed}
+	for _, rs := range strings.Split(spec, ",") {
+		r, err := parseRule(strings.TrimSpace(rs))
+		if err != nil {
+			return nil, err
+		}
+		in.rules = append(in.rules, r)
+	}
+	return in, nil
+}
+
+func parseRule(s string) (*rule, error) {
+	site, rest, ok := strings.Cut(s, "=")
+	if !ok || site == "" {
+		return nil, fmt.Errorf("faultinject: rule %q: want SITE=MODE[:ARG][#SKIP][xTIMES]", s)
+	}
+	r := &rule{raw: s, segs: strings.Split(site, "/"), times: 1, bits: 1}
+	if i := strings.LastIndexByte(rest, 'x'); i >= 0 && i > strings.LastIndexByte(rest, '#') {
+		t := rest[i+1:]
+		rest = rest[:i]
+		if t == "*" {
+			r.times = -1
+		} else {
+			n, err := strconv.ParseInt(t, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad times %q", s, t)
+			}
+			r.times = n
+		}
+	}
+	if i := strings.LastIndexByte(rest, '#'); i >= 0 {
+		n, err := strconv.ParseInt(rest[i+1:], 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: bad skip %q", s, rest[i+1:])
+		}
+		r.skip = n
+		rest = rest[:i]
+	}
+	mode, arg, _ := strings.Cut(rest, ":")
+	switch mode {
+	case "panic":
+		r.mode = ModePanic
+	case "error":
+		r.mode = ModeError
+	case "error-perm":
+		r.mode = ModeErrorPerm
+	case "delay":
+		r.mode = ModeDelay
+		r.delay = 10 * time.Millisecond
+		if arg != "" {
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad delay %q", s, arg)
+			}
+			r.delay = d
+		}
+		return r, nil
+	case "corrupt":
+		r.mode = ModeCorrupt
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad bit count %q", s, arg)
+			}
+			r.bits = n
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("faultinject: rule %q: unknown mode %q", s, mode)
+	}
+	if arg != "" {
+		return nil, fmt.Errorf("faultinject: rule %q: mode %q takes no argument", s, mode)
+	}
+	return r, nil
+}
+
+// SetMetrics attaches a registry counting injections per mode
+// ("faultinject.panic", "faultinject.error", ...). Nil disables counting.
+func (in *Injector) SetMetrics(reg *metrics.Registry) {
+	if in != nil {
+		in.reg = reg
+	}
+}
+
+// Seed returns the plan's seed (diagnostics).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+func (in *Injector) count(m Mode) {
+	if in.reg != nil {
+		in.reg.Counter("faultinject." + m.String()).Inc()
+	}
+}
+
+// Hit evaluates the error/panic/delay rules at a site built from the given
+// path segments. It returns a *Fault to inject, panics with one (ModePanic),
+// sleeps and returns nil (ModeDelay), or returns nil when no rule fires.
+// Corrupt rules never fire here — they are payload transforms (see Corrupt).
+func (in *Injector) Hit(parts ...string) error {
+	if in == nil {
+		return nil
+	}
+	for _, r := range in.rules {
+		if r.mode == ModeCorrupt || !r.match(parts) || !r.fires() {
+			continue
+		}
+		site := strings.Join(parts, "/")
+		in.count(r.mode)
+		switch r.mode {
+		case ModePanic:
+			panic(&Fault{Site: site, Rule: r.raw, Mode: ModePanic})
+		case ModeDelay:
+			time.Sleep(r.delay)
+		default:
+			return &Fault{Site: site, Rule: r.raw, Mode: r.mode}
+		}
+	}
+	return nil
+}
+
+// Corrupt evaluates the corrupt rules at a site. When one fires it returns
+// a copy of data with the rule's number of bit flips at seed-deterministic
+// positions; otherwise it returns data unchanged. Empty payloads pass
+// through untouched.
+func (in *Injector) Corrupt(data []byte, parts ...string) []byte {
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	for _, r := range in.rules {
+		if r.mode != ModeCorrupt || !r.match(parts) || !r.fires() {
+			continue
+		}
+		in.count(ModeCorrupt)
+		h := fnv.New64a()
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{'/'})
+		}
+		state := in.seed ^ h.Sum64() ^ uint64(r.hits.Load())
+		out := append([]byte(nil), data...)
+		for i := 0; i < r.bits; i++ {
+			state = splitmix64(state)
+			bit := state % uint64(len(out)*8)
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+		return out
+	}
+	return data
+}
+
+// splitmix64 is the standard 64-bit mixing step (public-domain constant
+// schedule) — a tiny, seedable PRNG with no shared state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

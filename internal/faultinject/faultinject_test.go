@@ -1,0 +1,191 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, spec string) *Injector {
+	t.Helper()
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"no-seed-separator",
+		"x:site=error",           // non-numeric seed
+		"1:siteonly",             // no '='
+		"1:=error",               // empty site
+		"1:s=weird",              // unknown mode
+		"1:s=error:arg",          // argless mode with argument
+		"1:s=delay:notaduration", // bad delay
+		"1:s=corrupt:0",          // bad bit count
+		"1:s=error#-1",           // bad skip
+		"1:s=errorx0",            // bad times
+		"1:a=error,b=",           // trailing bad rule
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = nil error, want failure", spec)
+		}
+	}
+	if in, err := Parse(""); err != nil || in != nil {
+		t.Errorf("Parse(\"\") = %v, %v; want nil, nil", in, err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("boom.tick", "sha"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3}
+	if got := in.Corrupt(data, "artifact.read"); !bytes.Equal(got, data) {
+		t.Fatal("nil Corrupt mutated data")
+	}
+	if in.Seed() != 0 {
+		t.Fatal("nil Seed not zero")
+	}
+}
+
+func TestHitMatchingAndBudget(t *testing.T) {
+	// Prefix match, glob segment, skip and times budgets.
+	in := mustParse(t, "7:core.measure/sha/*=error#1x2")
+	var faults int
+	for i := 0; i < 6; i++ {
+		if err := in.Hit("core.measure", "sha", "MegaBOOM"); err != nil {
+			faults++
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("hit %d: %T is not *Fault", i, err)
+			}
+			if !f.Transient() {
+				t.Error("error mode must be transient")
+			}
+			if f.Site != "core.measure/sha/MegaBOOM" {
+				t.Errorf("fault site %q", f.Site)
+			}
+		}
+	}
+	if faults != 2 {
+		t.Errorf("skip=1 times=2: got %d faults over 6 hits, want 2", faults)
+	}
+	// Non-matching sites never fire.
+	if err := in.Hit("core.measure", "fft", "MegaBOOM"); err != nil {
+		t.Errorf("non-matching workload fired: %v", err)
+	}
+	if err := in.Hit("core.profile", "sha"); err != nil {
+		t.Errorf("non-matching base site fired: %v", err)
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	in := mustParse(t, "1:boom.tick=error-perm")
+	err := in.Hit("boom.tick", "qsort", "LargeBOOM")
+	if err == nil {
+		t.Fatal("prefix rule did not fire on deeper site")
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Transient() {
+		t.Fatalf("error-perm must be a permanent *Fault, got %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := mustParse(t, "1:boom.tick/sha=panic")
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		f, ok := p.(*Fault)
+		if !ok || f.Mode != ModePanic {
+			t.Fatalf("panic value %v (%T), want *Fault{ModePanic}", p, p)
+		}
+	}()
+	in.Hit("boom.tick", "sha")
+}
+
+func TestDelayMode(t *testing.T) {
+	in := mustParse(t, "1:s=delay:30ms")
+	t0 := time.Now()
+	if err := in.Hit("s"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Errorf("delay slept %v, want ≈30ms", d)
+	}
+	// Budget exhausted: second hit is free.
+	t0 = time.Now()
+	in.Hit("s")
+	if d := time.Since(t0); d > 20*time.Millisecond {
+		t.Errorf("exhausted delay rule still slept %v", d)
+	}
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	a := mustParse(t, "42:artifact.read/measure=corrupt:3").Corrupt(payload, "artifact.read", "measure")
+	b := mustParse(t, "42:artifact.read/measure=corrupt:3").Corrupt(payload, "artifact.read", "measure")
+	c := mustParse(t, "43:artifact.read/measure=corrupt:3").Corrupt(payload, "artifact.read", "measure")
+	if bytes.Equal(a, payload) {
+		t.Fatal("corrupt did not flip any bits")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+	// Exactly 3 bit flips.
+	flips := 0
+	for i := range a {
+		for bit := 0; bit < 8; bit++ {
+			if (a[i]^payload[i])&(1<<bit) != 0 {
+				flips++
+			}
+		}
+	}
+	if flips != 3 {
+		t.Errorf("flipped %d bits, want 3", flips)
+	}
+	// The original slice is never mutated in place.
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0xAB}, 256)) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	// Hit never fires corrupt rules.
+	if err := mustParse(t, "42:artifact.read=corrupt").Hit("artifact.read", "measure"); err != nil {
+		t.Errorf("Hit fired a corrupt rule: %v", err)
+	}
+}
+
+func TestConcurrentHitsRespectBudget(t *testing.T) {
+	in := mustParse(t, "1:site=errorx10")
+	var wg sync.WaitGroup
+	faults := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Hit("site", "x") != nil {
+					faults[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range faults {
+		total += n
+	}
+	if total != 10 {
+		t.Errorf("concurrent hits fired %d times, want exactly 10", total)
+	}
+}

@@ -76,8 +76,11 @@ func doSweep() (*sweepResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			core := boom.New(cfg)
-			core.Run(func(r *sim.Retired) bool {
+			core, err := boom.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.Run(func(r *sim.Retired) bool {
 				if cpu.Halted {
 					return false
 				}
@@ -85,7 +88,9 @@ func doSweep() (*sweepResult, error) {
 					panic(err)
 				}
 				return true
-			}, math.MaxUint64)
+			}, math.MaxUint64); err != nil {
+				return nil, err
+			}
 			rep, err := est.Estimate(core.Stats())
 			if err != nil {
 				return nil, err

@@ -151,8 +151,11 @@ func runScaled(t *testing.T, name string, scale workloads.Scale, cfg boom.Config
 	if err != nil {
 		t.Fatal(err)
 	}
-	core := boom.New(cfg)
-	core.Run(func(r *sim.Retired) bool {
+	core, err := boom.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -160,7 +163,9 @@ func runScaled(t *testing.T, name string, scale workloads.Scale, cfg boom.Config
 			panic(err)
 		}
 		return true
-	}, maxInsts)
+	}, maxInsts); err != nil {
+		t.Fatal(err)
+	}
 	return core.Stats()
 }
 
@@ -242,8 +247,11 @@ func bpPowerFor(t *testing.T, name string, cfg boom.Config, lib asap7.Library) f
 	if err != nil {
 		t.Fatal(err)
 	}
-	core := boom.New(cfg)
-	core.Run(func(r *sim.Retired) bool {
+	core, err := boom.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -251,7 +259,9 @@ func bpPowerFor(t *testing.T, name string, cfg boom.Config, lib asap7.Library) f
 			panic(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		t.Fatal(err)
+	}
 	rep, err := NewEstimator(cfg, lib).Estimate(core.Stats())
 	if err != nil {
 		t.Fatal(err)

@@ -21,8 +21,11 @@ func runStats(t *testing.T, name string, cfg boom.Config) *boom.Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := boom.New(cfg)
-	c.Run(func(r *sim.Retired) bool {
+	c, err := boom.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(func(r *sim.Retired) bool {
 		if cpu.Halted {
 			return false
 		}
@@ -30,7 +33,9 @@ func runStats(t *testing.T, name string, cfg boom.Config) *boom.Stats {
 			panic(err)
 		}
 		return true
-	}, math.MaxUint64)
+	}, math.MaxUint64); err != nil {
+		t.Fatal(err)
+	}
 	return c.Stats()
 }
 

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// partialSweep derives a keep-going-shaped sweep from the shared test
+// sweep: the dijkstra profile is gone (its Profile task failed) and
+// qsort/MegaBOOM is gone (its measure task failed). Names/ConfigNames
+// keep the full campaign, exactly as Runner.Sweep leaves them.
+func partialSweep(t *testing.T) *core.Sweep {
+	t.Helper()
+	full := testSweep(t)
+	sw := &core.Sweep{
+		Flow:        full.Flow,
+		Scale:       full.Scale,
+		Names:       full.Names,
+		ConfigNames: full.ConfigNames,
+		Profiles:    map[string]*core.Profile{},
+		Results:     map[string]map[string]*core.Result{},
+	}
+	for n, p := range full.Profiles {
+		if n == "dijkstra" {
+			continue
+		}
+		sw.Profiles[n] = p
+	}
+	for cfg, byName := range full.Results {
+		sw.Results[cfg] = map[string]*core.Result{}
+		for n, r := range byName {
+			if n == "dijkstra" || (cfg == "MegaBOOM" && n == "qsort") {
+				continue
+			}
+			sw.Results[cfg][n] = r
+		}
+	}
+	return sw
+}
+
+// TestPartialSweepFailedCells: every artifact must render FAILED cells for
+// the missing pairs — never panic, never silently drop the campaign rows.
+func TestPartialSweepFailedCells(t *testing.T) {
+	sw := partialSweep(t)
+	tables := map[string]*Table{
+		"table2":  TableII(sw),
+		"fig5":    FigComponentPower(sw, "MediumBOOM"),
+		"fig7":    FigComponentPower(sw, "MegaBOOM"),
+		"fig8":    FigSlotPower(sw, "MegaBOOM", "dijkstra", "sha"),
+		"fig10":   FigIPC(sw),
+		"fig11":   FigPerfPerWatt(sw),
+		"speedup": SpeedupTable(sw),
+		"phases":  PhaseProfile(sw, "MegaBOOM", "dijkstra"),
+	}
+	for key, tb := range tables {
+		out := tb.Render()
+		if !strings.Contains(out, "FAILED") {
+			t.Errorf("%s: no FAILED cell for the missing pairs:\n%s", key, out)
+		}
+	}
+	// Per-config aggregates carry no per-pair cell; they must still render
+	// (means over the measured workloads), just without inventing data.
+	for key, tb := range map[string]*Table{
+		"fig9":    FigContribution(sw),
+		"sources": PowerSources(sw),
+	} {
+		if out := tb.Render(); !strings.Contains(out, "MegaBOOM") {
+			t.Errorf("%s did not render on a partial sweep:\n%s", key, out)
+		}
+	}
+
+	// The full campaign stays visible: Table II keeps one row per swept
+	// workload, with dijkstra's row all-FAILED.
+	tb := tables["table2"]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("table2 rows = %d, want 3 (failed workloads keep their row)", len(tb.Rows))
+	}
+	var dij []string
+	for _, row := range tb.Rows {
+		if row[0] == "dijkstra" {
+			dij = row
+		}
+	}
+	if dij == nil {
+		t.Fatal("table2 lost the dijkstra row")
+	}
+	for _, cell := range dij[1:] {
+		if cell != "FAILED" {
+			t.Errorf("dijkstra cell %q, want FAILED", cell)
+		}
+	}
+
+	// Measured pairs keep their fault-free values: the sha IPC row must be
+	// identical between the partial and the complete sweep.
+	full := FigIPC(testSweep(t))
+	part := tables["fig10"]
+	rowOf := func(tb *Table, name string) []string {
+		for _, row := range tb.Rows {
+			if row[0] == name {
+				return row
+			}
+		}
+		return nil
+	}
+	fr, pr := rowOf(full, "sha"), rowOf(part, "sha")
+	if fr == nil || pr == nil {
+		t.Fatal("sha row missing from Fig 10")
+	}
+	if strings.Join(fr, "|") != strings.Join(pr, "|") {
+		t.Errorf("surviving pair drifted: full=%v partial=%v", fr, pr)
+	}
+
+	// Takeaways must degrade, not crash, on a partial sweep.
+	if txt := Takeaways(sw); !strings.Contains(txt, "Key takeaways") {
+		t.Errorf("takeaways did not render: %q", txt)
+	}
+}

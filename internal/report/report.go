@@ -84,11 +84,41 @@ func (t *Table) CSV() string {
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
-// orderedWorkloads returns the sweep's workloads in Table II order.
+// failedCell marks a (workload, config) pair that a keep-going sweep could
+// not measure: the row survives, the number does not.
+const failedCell = "FAILED"
+
+// resultOf returns the result for (config, workload), nil when that pair
+// failed (or was never run) in a partial sweep.
+func resultOf(sw *core.Sweep, cfg, name string) *core.Result {
+	return sw.Results[cfg][name]
+}
+
+// presentCount returns how many of names have a result under cfg — the
+// divisor for suite means, so complete sweeps keep their exact arithmetic
+// and partial sweeps average over what was actually measured.
+func presentCount(sw *core.Sweep, cfg string, names []string) int {
+	n := 0
+	for _, name := range names {
+		if resultOf(sw, cfg, name) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// orderedWorkloads returns the sweep's workloads in Table II order. The
+// requested campaign (Sweep.Names) is authoritative when recorded, so
+// workloads that failed to profile still get their FAILED rows; older
+// serialized sweeps fall back to the profiled set.
 func orderedWorkloads(sw *core.Sweep) []string {
 	var names []string
-	for n := range sw.Profiles {
-		names = append(names, n)
+	if len(sw.Names) > 0 {
+		names = append(names, sw.Names...)
+	} else {
+		for n := range sw.Profiles {
+			names = append(names, n)
+		}
 	}
 	order := map[string]int{}
 	for i, n := range []string{"basicmath", "stringsearch", "fft", "ifft",
@@ -187,6 +217,12 @@ func TableII(sw *core.Sweep) *Table {
 	}
 	for _, name := range orderedWorkloads(sw) {
 		p := sw.Profiles[name]
+		if p == nil {
+			t.Rows = append(t.Rows, []string{
+				name, failedCell, failedCell, failedCell, failedCell, failedCell,
+			})
+			continue
+		}
 		t.Rows = append(t.Rows, []string{
 			name, p.Workload.Suite,
 			fmt.Sprint(p.Workload.IntervalSize),
@@ -208,13 +244,19 @@ func FigComponentPower(sw *core.Sweep, configName string) *Table {
 	names := orderedWorkloads(sw)
 	t.Headers = append(t.Headers, names...)
 	t.Headers = append(t.Headers, "Mean")
+	present := presentCount(sw, configName, names)
 	for _, comp := range boom.AnalyzedComponents() {
 		row := []string{comp.String()}
 		var mean float64
 		for _, n := range names {
-			v := sw.Results[configName][n].Power.Comp[comp].TotalMW()
+			r := resultOf(sw, configName, n)
+			if r == nil {
+				row = append(row, failedCell)
+				continue
+			}
+			v := r.Power.Comp[comp].TotalMW()
 			row = append(row, f2(v))
-			mean += v / float64(len(names))
+			mean += v / float64(present)
 		}
 		row = append(row, f2(mean))
 		t.Rows = append(t.Rows, row)
@@ -230,11 +272,22 @@ func FigSlotPower(sw *core.Sweep, configName string, names ...string) *Table {
 		Headers: []string{"Slot"},
 	}
 	t.Headers = append(t.Headers, names...)
-	slots := len(sw.Results[configName][names[0]].Slots)
+	slots := 0
+	for _, n := range names {
+		if r := resultOf(sw, configName, n); r != nil {
+			slots = len(r.Slots)
+			break
+		}
+	}
 	for s := 0; s < slots; s++ {
 		row := []string{fmt.Sprint(s)}
 		for _, n := range names {
-			row = append(row, fmt.Sprintf("%.4f", sw.Results[configName][n].Slots[s]))
+			r := resultOf(sw, configName, n)
+			if r == nil {
+				row = append(row, failedCell)
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.4f", r.Slots[s]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -251,10 +304,18 @@ func FigContribution(sw *core.Sweep) *Table {
 	for _, cfg := range configNames(sw) {
 		var analyzed, total float64
 		names := orderedWorkloads(sw)
+		present := presentCount(sw, cfg, names)
+		if present == 0 {
+			t.Rows = append(t.Rows, []string{cfg, failedCell, failedCell, failedCell})
+			continue
+		}
 		for _, n := range names {
-			r := sw.Results[cfg][n]
-			analyzed += r.Power.AnalyzedMW() / float64(len(names))
-			total += r.Power.TotalMW() / float64(len(names))
+			r := resultOf(sw, cfg, n)
+			if r == nil {
+				continue
+			}
+			analyzed += r.Power.AnalyzedMW() / float64(present)
+			total += r.Power.TotalMW() / float64(present)
 		}
 		t.Rows = append(t.Rows, []string{
 			cfg, f2(analyzed), f2(total), fmt.Sprintf("%.0f%%", 100*analyzed/total),
@@ -274,7 +335,11 @@ func FigIPC(sw *core.Sweep) *Table {
 	for _, n := range orderedWorkloads(sw) {
 		row := []string{n}
 		for _, cfg := range cfgs {
-			row = append(row, f2(sw.Results[cfg][n].IPC()))
+			if r := resultOf(sw, cfg, n); r != nil {
+				row = append(row, f2(r.IPC()))
+			} else {
+				row = append(row, failedCell)
+			}
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -294,7 +359,12 @@ func FigPerfPerWatt(sw *core.Sweep) *Table {
 		row := []string{n}
 		best, bestV := "", 0.0
 		for _, cfg := range cfgs {
-			v := sw.Results[cfg][n].PerfPerWatt()
+			r := resultOf(sw, cfg, n)
+			if r == nil {
+				row = append(row, failedCell)
+				continue
+			}
+			v := r.PerfPerWatt()
 			row = append(row, fmt.Sprintf("%.0f", v))
 			if v > bestV {
 				best, bestV = cfg, v
@@ -316,9 +386,16 @@ func SpeedupTable(sw *core.Sweep) *Table {
 	for _, n := range orderedWorkloads(sw) {
 		var wf, wd uint64
 		for _, cfg := range configNames(sw) {
-			r := sw.Results[cfg][n]
+			r := resultOf(sw, cfg, n)
+			if r == nil {
+				continue
+			}
 			wf += r.TotalInsts
 			wd += r.DetailedInsts
+		}
+		if wd == 0 {
+			t.Rows = append(t.Rows, []string{n, failedCell, failedCell, failedCell})
+			continue
 		}
 		full += wf
 		det += wd
@@ -326,9 +403,11 @@ func SpeedupTable(sw *core.Sweep) *Table {
 			n, fmt.Sprint(wf), fmt.Sprint(wd), fmt.Sprintf("%.1f×", float64(wf)/float64(wd)),
 		})
 	}
-	t.Rows = append(t.Rows, []string{
-		"TOTAL", fmt.Sprint(full), fmt.Sprint(det), fmt.Sprintf("%.1f×", float64(full)/float64(det)),
-	})
+	if det > 0 {
+		t.Rows = append(t.Rows, []string{
+			"TOTAL", fmt.Sprint(full), fmt.Sprint(det), fmt.Sprintf("%.1f×", float64(full)/float64(det)),
+		})
+	}
 	// Measured wall-clock speedup (flow profiling + detailed measurement vs
 	// an estimated full detailed simulation at the measured per-instruction
 	// cost) — the time-based evidence behind the instruction-count ratio.
@@ -347,7 +426,14 @@ func SpeedupTable(sw *core.Sweep) *Table {
 // configuration: the phase-level IPC/power breakdown the SimPoint
 // methodology provides for free.
 func PhaseProfile(sw *core.Sweep, configName, workload string) *Table {
-	r := sw.Results[configName][workload]
+	r := resultOf(sw, configName, workload)
+	if r == nil {
+		return &Table{
+			Title:   fmt.Sprintf("Phase profile — %s on %s", workload, configName),
+			Headers: []string{"Point", "Interval", "Weight", "IPC", "Power mW"},
+			Rows:    [][]string{{failedCell, failedCell, failedCell, failedCell, failedCell}},
+		}
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Phase profile — %s on %s (%d points, %.0f%% coverage)", workload, configName, r.NumPoints, 100*r.Coverage),
 		Headers: []string{"Point", "Interval", "Weight", "IPC", "Power mW"},
@@ -373,13 +459,22 @@ func PowerSources(sw *core.Sweep) *Table {
 	}
 	names := orderedWorkloads(sw)
 	for _, cfg := range configNames(sw) {
+		present := presentCount(sw, cfg, names)
+		if present == 0 {
+			t.Rows = append(t.Rows, []string{cfg, failedCell, failedCell, failedCell, failedCell})
+			continue
+		}
 		var leak, internal, switching float64
 		for _, n := range names {
+			r := resultOf(sw, cfg, n)
+			if r == nil {
+				continue
+			}
 			for c := boom.Component(0); c < boom.NumComponents; c++ {
-				b := sw.Results[cfg][n].Power.Comp[c]
-				leak += b.LeakageMW / float64(len(names))
-				internal += b.InternalMW / float64(len(names))
-				switching += b.SwitchingMW / float64(len(names))
+				b := r.Power.Comp[c]
+				leak += b.LeakageMW / float64(present)
+				internal += b.InternalMW / float64(present)
+				switching += b.SwitchingMW / float64(present)
 			}
 		}
 		t.Rows = append(t.Rows, []string{
