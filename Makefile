@@ -1,11 +1,12 @@
 # Build/verify entry points. `make check` is the CI tier that keeps the
 # concurrent metrics/runner code race-clean, smokes the fuzz targets,
 # proves the artifact cache round-trips byte-identically on every change,
-# and drills the supervised sweep engine (chaos injection, crash-resume).
+# drills the supervised sweep engine (chaos injection, crash-resume), and
+# smokes the boomd HTTP job service end to end.
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,9 +18,10 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: the packages with new concurrent code (metrics registry,
-# Runner worker pool, artifact cache, fault injector) must stay race-clean.
+# Runner worker pool, artifact cache, fault injector, HTTP job service)
+# must stay race-clean.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact ./internal/faultinject
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact ./internal/faultinject ./internal/serve
 
 # Fuzz smoke: a few seconds per target on top of the committed seed
 # corpora (go accepts one -fuzz target per invocation).
@@ -70,4 +72,27 @@ resume-roundtrip:
 	cmp .resume-check/resumed.txt .resume-check/warm.txt
 	rm -rf .resume-check
 
-check: vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip
+# Serve smoke: boot boomd on an ephemeral port, run a tiny campaign
+# through boomctl (submit → long-poll result), scrape /metrics, then
+# SIGTERM and require a clean drain (exit 0).
+serve-smoke:
+	rm -rf .serve-check && mkdir -p .serve-check
+	$(GO) build -o .serve-check/boomd ./cmd/boomd
+	$(GO) build -o .serve-check/boomctl ./cmd/boomctl
+	set -e; \
+	./.serve-check/boomd -addr 127.0.0.1:0 -q -cache .serve-check/cache \
+		> .serve-check/out.txt 2> .serve-check/log.txt & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q 'listening on' .serve-check/out.txt 2>/dev/null && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^boomd: listening on //p' .serve-check/out.txt | head -1); \
+	test -n "$$addr" || { echo "serve-smoke: boomd never bound"; kill $$pid; exit 1; }; \
+	./.serve-check/boomctl -addr $$addr submit -workloads sha -configs medium \
+		-scale tiny -wait > .serve-check/result.json; \
+	grep -q '"rows":' .serve-check/result.json; \
+	./.serve-check/boomctl -addr $$addr metrics | grep -q 'serve_sweeps_done 1'; \
+	kill -TERM $$pid; wait $$pid
+	rm -rf .serve-check
+	@echo "serve-smoke: OK"
+
+check: vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke

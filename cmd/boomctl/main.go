@@ -1,0 +1,207 @@
+// Command boomctl is the boomd client the tests and Makefile drive:
+//
+//	boomctl [-addr HOST:PORT] submit [-workloads sha,qsort] [-configs medium] [-scale tiny] [-wait]
+//	boomctl [-addr HOST:PORT] status ID
+//	boomctl [-addr HOST:PORT] result ID [-wait]
+//	boomctl [-addr HOST:PORT] metrics
+//	boomctl [-addr HOST:PORT] health
+//
+// submit prints the job ID (the campaign fingerprint) on stdout; with
+// -wait it blocks until the sweep is terminal and prints the result JSON
+// instead. Exit status is non-zero on any HTTP error, including a failed
+// sweep.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "boomctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	// Global flags come before the subcommand; sub-flags after it.
+	addr := "127.0.0.1:8080"
+	timeout := 10 * time.Minute
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-addr" && len(args) > 1:
+			addr = args[1]
+			args = args[2:]
+		case args[0] == "-timeout" && len(args) > 1:
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				return fmt.Errorf("-timeout: %w", err)
+			}
+			timeout = d
+			args = args[2:]
+		default:
+			return usage()
+		}
+	}
+	if len(args) == 0 {
+		return usage()
+	}
+	c := &client{
+		base: "http://" + addr,
+		http: &http.Client{Timeout: timeout},
+		out:  out,
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "status":
+		if len(rest) != 1 {
+			return usage()
+		}
+		return c.get("/v1/sweeps/" + rest[0])
+	case "result":
+		wait := len(rest) == 2 && rest[1] == "-wait"
+		if len(rest) != 1 && !wait {
+			return usage()
+		}
+		return c.result(rest[0], wait)
+	case "metrics":
+		return c.get("/metrics")
+	case "health":
+		if err := c.get("/healthz"); err != nil {
+			return err
+		}
+		return c.get("/readyz")
+	}
+	return usage()
+}
+
+func usage() error {
+	return fmt.Errorf("usage: boomctl [-addr HOST:PORT] [-timeout D] " +
+		"submit [-workloads a,b] [-configs x,y] [-scale S] [-wait] | " +
+		"status ID | result ID [-wait] | metrics | health")
+}
+
+type client struct {
+	base string
+	http *http.Client
+	out  io.Writer
+}
+
+func (c *client) submit(args []string) error {
+	var camp serve.Campaign
+	wait := false
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-workloads" && i+1 < len(args):
+			i++
+			camp.Workloads = splitList(args[i])
+		case args[i] == "-configs" && i+1 < len(args):
+			i++
+			camp.Configs = splitList(args[i])
+		case args[i] == "-scale" && i+1 < len(args):
+			i++
+			camp.Scale = args[i]
+		case args[i] == "-wait":
+			wait = true
+		default:
+			return usage()
+		}
+	}
+	body, err := json.Marshal(camp)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return err
+	}
+	var st serve.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	if !wait {
+		fmt.Fprintln(c.out, st.ID)
+		return nil
+	}
+	return c.result(st.ID, true)
+}
+
+// result fetches the canonical result JSON; with wait it long-polls until
+// the job is terminal (re-polling if a proxy cuts the long poll short).
+func (c *client) result(id string, wait bool) error {
+	for {
+		url := c.base + "/v1/sweeps/" + id + "/result"
+		if wait {
+			url += "?wait=1"
+		}
+		resp, err := c.http.Get(url)
+		if err != nil {
+			return err
+		}
+		b, err := readBody(resp)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			if !wait {
+				return fmt.Errorf("sweep %s not finished (use -wait)", id)
+			}
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		_, werr := c.out.Write(b)
+		return werr
+	}
+}
+
+func (c *client) get(path string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return err
+	}
+	_, werr := c.out.Write(b)
+	return werr
+}
+
+// readBody drains the response and turns non-2xx (other than 202, which
+// callers branch on) into an error carrying the server's message.
+func readBody(resp *http.Response) ([]byte, error) {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

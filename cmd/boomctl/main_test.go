@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// startServer stands up a serve.Server and returns its host:port.
+func startServer(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestSubmitWait: the submit -wait round trip prints the result JSON.
+func TestSubmitWait(t *testing.T) {
+	addr := startServer(t, serve.Config{})
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "submit",
+		"-workloads", "sha", "-configs", "medium", "-scale", "tiny", "-wait"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.SweepResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output %q is not a SweepResult: %v", out.String(), err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Workload != "sha" || res.Rows[0].IPC <= 0 {
+		t.Errorf("unexpected result rows: %+v", res.Rows)
+	}
+
+	// submit without -wait prints the job id; status and result then work.
+	out.Reset()
+	if err := run([]string{"-addr", addr, "submit", "-workloads", "sha",
+		"-configs", "medium", "-scale", "tiny"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(out.String())
+	if id != res.ID {
+		t.Errorf("resubmission id %q, want collapsed onto %q", id, res.ID)
+	}
+	out.Reset()
+	if err := run([]string{"-addr", addr, "status", id}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil || st.ID != id {
+		t.Errorf("status output %q (err %v)", out.String(), err)
+	}
+	out.Reset()
+	if err := run([]string{"-addr", addr, "result", id, "-wait"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(out.Bytes()) {
+		t.Errorf("result output is not JSON: %q", out.String())
+	}
+}
+
+// TestClientErrors: server-side rejections surface as errors carrying the
+// server's message, and usage mistakes never hit the network.
+func TestClientErrors(t *testing.T) {
+	addr := startServer(t, serve.Config{})
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "submit", "-workloads", "linpack"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "linpack") {
+		t.Errorf("unknown workload error %v must carry the server message", err)
+	}
+	if err := run([]string{"-addr", addr, "status", "nope"}, &out); err == nil {
+		t.Error("status of unknown id must fail")
+	}
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"-addr"},
+		{"submit", "-bogus"},
+		{"status"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %q must fail usage", args)
+		}
+	}
+}
+
+// TestMetricsAndHealth: the introspection subcommands print the raw
+// endpoint bodies.
+func TestMetricsAndHealth(t *testing.T) {
+	addr := startServer(t, serve.Config{})
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "health"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !strings.Contains(s, "ok") || !strings.Contains(s, "ready") {
+		t.Errorf("health output %q", s)
+	}
+	out.Reset()
+	if err := run([]string{"-addr", addr, "metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "serve_http_requests") {
+		t.Errorf("metrics output missing serving series:\n%s", out.String())
+	}
+}

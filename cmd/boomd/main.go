@@ -1,0 +1,112 @@
+// Command boomd serves the experiment sweep engine over HTTP: submit a
+// campaign (workloads × BOOM configs at a scale), poll or long-poll for
+// the canonical result JSON, scrape /metrics for engine and serving
+// state. Campaign fingerprints — the same identities the crash-resume
+// journal and the artifact cache key on — double as job IDs, so duplicate
+// in-flight submissions collapse onto one sweep.
+//
+//	boomd -addr :8080 -cache .cache -resume -retries 2 &
+//	boomctl submit -scale tiny -wait
+//
+// The queue is bounded (-queue); submissions beyond it get 429 with a
+// Retry-After hint. SIGTERM/SIGINT drains gracefully: admission stops
+// (/readyz flips to 503), in-flight and queued sweeps run to completion
+// within -grace, then the process exits. If the grace expires first the
+// sweeps are canceled — every completed task is already journaled under
+// -cache, so restarting boomd with -resume and resubmitting the campaign
+// recomputes nothing that finished.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "boomd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("boomd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	cacheDir := fs.String("cache", "", "artifact cache directory shared by all sweeps (empty = no caching)")
+	cacheVerify := fs.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
+	resume := fs.Bool("resume", false, "replay a matching sweep journal under -cache and rerun only unfinished tasks")
+	retries := fs.Int("retries", 0, "retries per sweep task on transient faults")
+	keepGoing := fs.Bool("keep-going", false, "serve partial campaigns instead of failing the job on the first task error")
+	stageTimeout := fs.Duration("stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
+	chaos := fs.String("chaos", "", "deterministic fault-injection plan SEED:SPEC (see internal/faultinject)")
+	jobs := fs.Int("j", 0, "per-sweep parallelism (0 = all cores)")
+	queueDepth := fs.Int("queue", 8, "job queue depth; excess submissions get 429")
+	workers := fs.Int("workers", 1, "concurrent sweeps (keep 1 with -cache: the journal is per cache dir)")
+	grace := fs.Duration("grace", 30*time.Second, "drain grace on SIGTERM before canceling in-flight sweeps")
+	quiet := fs.Bool("q", false, "log lifecycle events only, not per-stage progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := func(format string, a ...interface{}) {
+		fmt.Fprintf(os.Stderr, "boomd: "+format+"\n", a...)
+	}
+	srv, err := serve.New(serve.Config{
+		CacheDir:     *cacheDir,
+		CacheVerify:  *cacheVerify,
+		Resume:       *resume,
+		Retries:      *retries,
+		StageTimeout: *stageTimeout,
+		KeepGoing:    *keepGoing,
+		Chaos:        *chaos,
+		Parallelism:  *jobs,
+		QueueDepth:   *queueDepth,
+		SweepWorkers: *workers,
+		Log:          logf,
+		Progress:     !*quiet,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Stdout so scripts can scrape the bound address (port 0 support).
+	fmt.Printf("boomd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	logf("signal received; draining (grace %s)", *grace)
+	dctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logf("grace expired; in-flight sweeps canceled (journaled tasks replay with -resume): %v", err)
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	_ = hs.Shutdown(hctx)
+	logf("bye")
+	return nil
+}

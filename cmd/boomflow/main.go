@@ -97,7 +97,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown predictor %q", *predictor))
 	}
-	scale, err := parseScale(*scaleFlag)
+	scale, err := workloads.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -238,18 +238,6 @@ func emitMetrics(reg *metrics.Registry, mode, dest string) error {
 		return reg.WriteJSON(out)
 	}
 	return reg.WriteText(out)
-}
-
-func parseScale(s string) (workloads.Scale, error) {
-	switch s {
-	case "tiny":
-		return workloads.ScaleTiny, nil
-	case "default":
-		return workloads.ScaleDefault, nil
-	case "paper":
-		return workloads.ScalePaper, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (tiny|default|paper)", s)
 }
 
 func fatal(err error) {

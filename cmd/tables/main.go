@@ -76,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	scale, err := parseScale(*scaleFlag)
+	scale, err := workloads.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
 	}
@@ -213,16 +213,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("sweep completed with %d failed task(s); tables above mark them FAILED", failedTasks)
 	}
 	return nil
-}
-
-func parseScale(s string) (workloads.Scale, error) {
-	switch s {
-	case "tiny":
-		return workloads.ScaleTiny, nil
-	case "default":
-		return workloads.ScaleDefault, nil
-	case "paper":
-		return workloads.ScalePaper, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (tiny|default|paper)", s)
 }

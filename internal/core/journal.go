@@ -3,12 +3,14 @@ package core
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"repro/internal/artifact"
 	"repro/internal/boom"
+	"repro/internal/metrics"
 )
 
 // This file implements the sweep's crash-resume journal: an append-only
@@ -40,23 +42,57 @@ type journalRecord struct {
 
 // journal is an open, append-only WAL. All methods are safe for concurrent
 // use; a nil *journal is inert so the sweep path needs no guards.
+//
+// Write errors are never swallowed: a WAL that silently drops a "done"
+// record would make a later -resume rerun — or worse, half-trust — work
+// that actually finished. The first failed write increments
+// core.sweep.journal_write_errors, warns once through the progress sink,
+// and disables the journal for the rest of the sweep, so the failure mode
+// degrades to "no journal" (resume reruns everything), never to a
+// plausible-but-wrong journal.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu       sync.Mutex
+	f        *os.File
+	reg      *metrics.Registry // nil-safe counter sink
+	warn     func(format string, args ...interface{})
+	disabled bool
 }
 
-func (j *journal) append(rec journalRecord) {
+func (j *journal) append(rec journalRecord) { j.write(rec, false) }
+
+// appendSync appends like append, then fsyncs — used for the header
+// record, so a crash shortly after open can never leave a journal whose
+// campaign identity is not durable on disk.
+func (j *journal) appendSync(rec journalRecord) { j.write(rec, true) }
+
+func (j *journal) write(rec journalRecord, sync bool) {
 	if j == nil {
 		return
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return
+		return // journalRecord always marshals; stay inert regardless
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
-	j.f.Write(line) // one write syscall per record: crash loses ≤1 line
-	j.mu.Unlock()
+	defer j.mu.Unlock()
+	if j.disabled {
+		return
+	}
+	n, err := j.f.Write(line) // one write syscall per record: crash loses ≤1 line
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err == nil && sync {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		j.disabled = true
+		j.reg.Counter("core.sweep.journal_write_errors").Inc()
+		if j.warn != nil {
+			j.warn("sweep journal disabled after write error (a later -resume will rerun unjournaled tasks): %v", err)
+		}
+	}
 }
 
 func (j *journal) Close() error {
@@ -149,11 +185,20 @@ func (r *Runner) openSweepJournal(names []string, configs []boom.Config) (*journ
 		r.note("journal disabled: %v", err)
 		return nil, done
 	}
-	jn := &journal{f: f}
+	jn := &journal{f: f, reg: r.reg, warn: r.note}
 	if len(done) == 0 {
-		jn.append(journalRecord{Ev: "sweep", ID: id})
+		jn.appendSync(journalRecord{Ev: "sweep", ID: id})
 	}
 	return jn, done
+}
+
+// CampaignID returns the campaign fingerprint for a (workloads, configs)
+// sweep under this Runner's flow parameters and scale — the exact identity
+// the sweep journal is keyed by. The serving layer (internal/serve) reuses
+// it as the job and dedupe ID: duplicate submissions of one campaign
+// collapse onto one job, and the artifact cache dedupes across requests.
+func (r *Runner) CampaignID(names []string, configs []boom.Config) string {
+	return r.sweepID(names, configs)
 }
 
 // JournalPath returns the sweep journal location for a cache directory

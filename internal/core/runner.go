@@ -904,10 +904,8 @@ func (r *Runner) runTasks(ctx context.Context, jn *journal, doneSet map[string]b
 		wall := time.Since(start).Nanoseconds()
 		for wk := 0; wk < workers; wk++ {
 			r.reg.Counter(fmt.Sprintf("core.sweep.worker.%02d.busy_ns", wk)).Add(busyNS[wk])
-			if wall > 0 {
-				r.reg.Gauge(fmt.Sprintf("core.sweep.worker.%02d.util", wk)).
-					Set(float64(busyNS[wk]) / float64(wall))
-			}
+			r.reg.Gauge(fmt.Sprintf("core.sweep.worker.%02d.util", wk)).
+				Set(utilization(busyNS[wk], wall))
 		}
 	}
 	if cerr := ctx.Err(); cerr != nil {
@@ -920,6 +918,23 @@ func (r *Runner) runTasks(ctx context.Context, jn *journal, doneSet map[string]b
 		return errs[0]
 	}
 	return &SweepErrors{Errs: errs}
+}
+
+// utilization returns the busy/wall worker-utilization ratio as a finite
+// value in [0, 1]. A zero or negative wall clock — a degenerate or instant
+// sweep on a coarse clock — must yield 0, never NaN or ±Inf: the ratio
+// lands in a gauge that -metrics json marshals, and encoding/json rejects
+// non-finite numbers outright, so one bad division would kill the whole
+// metrics emission. Busy time can marginally exceed the wall measurement
+// (the two clock reads are not atomic), so the ratio is clamped at 1.
+func utilization(busyNS, wallNS int64) float64 {
+	if wallNS <= 0 || busyNS <= 0 {
+		return 0
+	}
+	if u := float64(busyNS) / float64(wallNS); u < 1 {
+		return u
+	}
+	return 1
 }
 
 // runTask supervises one task: journal bookkeeping and resume accounting,

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
@@ -221,5 +224,51 @@ func TestSpeedupWallClock(t *testing.T) {
 	}
 	if rep.FlowWallNS() != rep.ProfileWallNS+rep.MeasureWallNS {
 		t.Error("FlowWallNS must sum profile and measure wall time")
+	}
+}
+
+// TestUtilizationFinite: the worker-utilization ratio must be finite for
+// every input, including the degenerate zero-wall-clock sweep that used
+// to produce NaN/±Inf and kill -metrics json.
+func TestUtilizationFinite(t *testing.T) {
+	for _, tc := range []struct {
+		busy, wall int64
+		want       float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0},      // instant sweep: busy recorded, wall rounded to 0
+		{0, 100, 0},
+		{-1, -1, 0},
+		{50, 100, 0.5},
+		{120, 100, 1}, // clock skew: busy may marginally exceed wall
+	} {
+		got := utilization(tc.busy, tc.wall)
+		if got != tc.want {
+			t.Errorf("utilization(%d, %d) = %v, want %v", tc.busy, tc.wall, got, tc.want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("utilization(%d, %d) = %v is not finite", tc.busy, tc.wall, got)
+		}
+	}
+}
+
+// TestZeroDurationSweepMetricsJSON: a degenerate sweep (zero tasks, ~zero
+// wall-clock) must leave the registry in a state json.Marshal accepts —
+// the regression here was a NaN utilization gauge aborting the whole
+// -metrics json emission.
+func TestZeroDurationSweepMetricsJSON(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(DefaultFlowConfig(), WithMetrics(reg))
+	if _, err := r.Sweep(context.Background(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Force the exact degenerate division a zero-duration phase produces.
+	reg.Gauge("core.sweep.worker.00.util").Set(utilization(5, 0))
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("zero-duration sweep metrics do not marshal: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("emitted metrics are not valid JSON:\n%s", buf.Bytes())
 	}
 }

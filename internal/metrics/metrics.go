@@ -94,6 +94,35 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
+// Summary is the scalar digest of a histogram: observation count, sum,
+// extrema and mean. It is the shape the renderers (text, JSON, Prometheus)
+// emit for a histogram when buckets are not wanted.
+type Summary struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	Mean  float64
+}
+
+// Summary returns the histogram's scalar digest. An untouched (or nil)
+// histogram returns the zero Summary — the mean of zero observations is
+// defined as 0, never the 0/0 NaN, which would poison any JSON emission
+// the digest lands in.
+func (h *Histogram) Summary() Summary {
+	var s Summary
+	if h == nil {
+		return s
+	}
+	h.mu.Lock()
+	s.Count, s.Sum, s.Min, s.Max = h.count, h.sum, h.min, h.max
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
 // HistSnapshot is a consistent point-in-time view of a histogram.
 type HistSnapshot struct {
 	Count int64   `json:"count"`

@@ -2,9 +2,12 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -219,6 +222,7 @@ func TestRenderGolden(t *testing.T) {
 	}{
 		{"registry.txt", func(r *Registry, b *bytes.Buffer) error { return r.WriteText(b) }},
 		{"registry.json", func(r *Registry, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+		{"registry.prom", func(r *Registry, b *bytes.Buffer) error { return r.WritePrometheus(b) }},
 	} {
 		var buf bytes.Buffer
 		if err := tc.write(goldenRegistry(), &buf); err != nil {
@@ -241,5 +245,94 @@ func TestRenderGolden(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), want) {
 			t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", tc.file, buf.Bytes(), want)
 		}
+	}
+}
+
+// TestEmptyHistogramSummary: Summary() of an untouched (or nil) histogram
+// must be all zeros — in particular the 0/0 mean is defined as 0, not NaN,
+// so the digest can always be marshaled.
+func TestEmptyHistogramSummary(t *testing.T) {
+	var nilHist *Histogram
+	if s := nilHist.Summary(); s != (Summary{}) {
+		t.Errorf("nil histogram Summary = %+v, want zero", s)
+	}
+	reg := NewRegistry()
+	s := reg.Histogram("untouched").Summary()
+	if s != (Summary{}) {
+		t.Errorf("untouched histogram Summary = %+v, want zero", s)
+	}
+	if math.IsNaN(s.Mean) {
+		t.Error("empty-histogram mean is NaN")
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("empty Summary does not marshal: %v", err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("invalid JSON: %s", b)
+	}
+}
+
+func TestHistogramSummaryValues(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	h.Observe(2)
+	h.Observe(4)
+	s := h.Summary()
+	want := Summary{Count: 2, Sum: 6, Min: 2, Max: 4, Mean: 3}
+	if s != want {
+		t.Errorf("Summary = %+v, want %+v", s, want)
+	}
+}
+
+// TestWriteJSONNonFiniteGauge: a single poisoned gauge (NaN or ±Inf, e.g.
+// a ratio whose denominator collapsed to zero) must not kill the whole
+// JSON emission — encoding/json rejects non-finite numbers, so the render
+// layer clamps them to 0.
+func TestWriteJSONNonFiniteGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("poisoned.nan").Set(math.NaN())
+	reg.Gauge("poisoned.inf").Set(math.Inf(1))
+	reg.Gauge("fine").Set(0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with a NaN gauge: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if snap.Gauges["poisoned.nan"] != 0 || snap.Gauges["poisoned.inf"] != 0 {
+		t.Errorf("non-finite gauges not clamped: %v", snap.Gauges)
+	}
+	if snap.Gauges["fine"] != 0.5 {
+		t.Errorf("finite gauge altered: %v", snap.Gauges["fine"])
+	}
+}
+
+// TestWritePrometheusSanitizesNames: registry names use dots and slashes;
+// the exposition must map them onto [a-zA-Z0-9_:].
+func TestWritePrometheusSanitizesNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.sweep.tasks").Inc()
+	reg.Gauge("core.sweep.worker.00.util").Set(math.NaN()) // must render 0
+	reg.Histogram("core.sweep.queue_wait_ns").Observe(1024)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE core_sweep_tasks counter\ncore_sweep_tasks 1\n",
+		"core_sweep_worker_00_util 0\n",
+		"core_sweep_queue_wait_ns_count 1\n",
+		"core_sweep_queue_wait_ns_sum 1024\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("exposition leaks NaN:\n%s", out)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 )
@@ -49,7 +50,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(gauges) > 0 {
 		s.Gauges = map[string]float64{}
 		for k, v := range gauges {
-			s.Gauges[k] = v.Value()
+			s.Gauges[k] = finiteOr0(v.Value())
 		}
 	}
 	if len(hists) > 0 {
@@ -64,9 +65,23 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// finiteOr0 clamps non-finite values to 0 at the rendering boundary.
+// encoding/json rejects NaN/±Inf outright, so a single poisoned gauge
+// (e.g. a ratio whose denominator collapsed to zero) would otherwise kill
+// an entire metrics emission — a silent instrumentation bug escalating
+// into a hard serving failure.
+func finiteOr0(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // WriteJSON renders the registry as one indented JSON object. Map keys
 // are emitted in sorted order (encoding/json), span order is creation
-// order, so the output is deterministic for a fixed clock.
+// order, so the output is deterministic for a fixed clock. Non-finite
+// gauge values are rendered as 0 (see finiteOr0) so the emission cannot
+// fail on a poisoned instrument.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Campaign is the POST /v1/sweeps request body: the cross product of
+// workloads × configs evaluated at one scale under the daemon's flow
+// parameters. Empty lists mean "everything" — all registered workloads,
+// the paper's three design points — so the zero Campaign is the full
+// paper experiment at tiny scale.
+type Campaign struct {
+	// Workloads lists benchmark names (see internal/workloads.Names).
+	// Empty = all of them, in Table II order.
+	Workloads []string `json:"workloads"`
+	// Configs lists BOOM design points ("MediumBOOM"/"medium", ...).
+	// Empty = the paper's three design points in Table I order.
+	Configs []string `json:"configs"`
+	// Scale is "tiny", "default" or "paper"; empty = "tiny".
+	Scale string `json:"scale"`
+}
+
+// campaign is a validated, resolved Campaign.
+type campaign struct {
+	names []string
+	cfgs  []boom.Config
+	scale workloads.Scale
+}
+
+// resolveCampaign validates a request against the same identities the
+// sweep engine uses: workload names must be registered, config names must
+// resolve through boom.ConfigByName (which also canonicalizes shorthand
+// like "medium"), and duplicates are rejected because the journal keys
+// tasks by (kind, workload, config) labels. Everything that passes here
+// is exactly what feeds the campaign fingerprint.
+func resolveCampaign(req Campaign) (campaign, error) {
+	var c campaign
+	c.scale = workloads.ScaleTiny
+	if req.Scale != "" {
+		s, err := workloads.ParseScale(req.Scale)
+		if err != nil {
+			return c, err
+		}
+		c.scale = s
+	}
+	if len(req.Workloads) == 0 {
+		c.names = workloads.Names()
+	} else {
+		known := map[string]bool{}
+		for _, n := range workloads.Names() {
+			known[n] = true
+		}
+		seen := map[string]bool{}
+		for _, n := range req.Workloads {
+			if !known[n] {
+				return c, fmt.Errorf("unknown workload %q", n)
+			}
+			if seen[n] {
+				return c, fmt.Errorf("duplicate workload %q", n)
+			}
+			seen[n] = true
+		}
+		c.names = append([]string(nil), req.Workloads...)
+	}
+	if len(req.Configs) == 0 {
+		c.cfgs = boom.Configs()
+	} else {
+		seen := map[string]bool{}
+		for _, n := range req.Configs {
+			cfg, err := boom.ConfigByName(n)
+			if err != nil {
+				return c, err
+			}
+			if seen[cfg.Name] {
+				return c, fmt.Errorf("duplicate config %q", cfg.Name)
+			}
+			seen[cfg.Name] = true
+			c.cfgs = append(c.cfgs, cfg)
+		}
+	}
+	return c, nil
+}
+
+// SweepResult is the canonical JSON served by GET /v1/sweeps/{id}/result.
+// It contains only values that are bit-reproducible across runs — IPC,
+// power, coverage, instruction counts — and deliberately no wall-clock
+// figures, so encoding a direct Runner.Sweep of the same campaign yields
+// byte-identical output whether the sweep was cold, warm-cached, resumed,
+// or served over HTTP.
+type SweepResult struct {
+	ID        string      `json:"id"`
+	Scale     string      `json:"scale"`
+	Workloads []string    `json:"workloads"`
+	Configs   []string    `json:"configs"`
+	Rows      []ResultRow `json:"rows"`
+	// Failed lists "config/workload" pairs with no result (keep-going
+	// sweeps render partial campaigns instead of hiding losses).
+	Failed []string `json:"failed,omitempty"`
+	// SpeedupX is detailed-instruction reduction of the SimPoint flow
+	// over full simulation (the paper's headline ratio), computed from
+	// instruction counts only.
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// ResultRow is one (workload, config) cell of a campaign.
+type ResultRow struct {
+	Workload      string  `json:"workload"`
+	Config        string  `json:"config"`
+	IPC           float64 `json:"ipc"`
+	PowerMW       float64 `json:"power_mw"`
+	PerfPerWatt   float64 `json:"perf_per_watt"`
+	Coverage      float64 `json:"coverage"`
+	K             int     `json:"k"`
+	NumPoints     int     `json:"num_points"`
+	TotalInsts    uint64  `json:"total_insts"`
+	DetailedInsts uint64  `json:"detailed_insts"`
+}
+
+// EncodeSweep renders a sweep as canonical JSON bytes: rows in request
+// order (configs outer, workloads inner — the order Names/ConfigNames
+// record), struct-field key order, one trailing newline. Non-finite
+// derived ratios are clamped to 0 so the encoding can never fail on a
+// degenerate measurement.
+func EncodeSweep(id string, scale workloads.Scale, sw *core.Sweep) ([]byte, error) {
+	out := SweepResult{
+		ID:        id,
+		Scale:     scale.String(),
+		Workloads: append([]string{}, sw.Names...),
+		Configs:   append([]string{}, sw.ConfigNames...),
+		Rows:      []ResultRow{},
+	}
+	for _, cfg := range sw.ConfigNames {
+		for _, name := range sw.Names {
+			res := sw.Results[cfg][name]
+			if res == nil {
+				out.Failed = append(out.Failed, cfg+"/"+name)
+				continue
+			}
+			out.Rows = append(out.Rows, ResultRow{
+				Workload:      name,
+				Config:        cfg,
+				IPC:           finite(res.IPC()),
+				PowerMW:       finite(res.TotalPowerMW()),
+				PerfPerWatt:   perfPerWatt(res),
+				Coverage:      finite(res.Coverage),
+				K:             res.K,
+				NumPoints:     res.NumPoints,
+				TotalInsts:    res.TotalInsts,
+				DetailedInsts: res.DetailedInsts,
+			})
+		}
+	}
+	out.SpeedupX = finite(sw.SpeedupOf().Speedup())
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// perfPerWatt guards Result.PerfPerWatt's division: a zero-power cell
+// yields 0, not +Inf.
+func perfPerWatt(res *core.Result) float64 {
+	mw := res.TotalPowerMW()
+	if !(mw > 0) {
+		return 0
+	}
+	return finite(res.IPC() / (mw / 1000.0))
+}
+
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// newTestServer builds a Server plus an httptest front end and registers
+// cleanup. Tests that drain explicitly pass their own teardown.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// directSweepBytes runs the same campaign straight through core.Runner and
+// encodes it with the serving encoder — the byte-identity reference.
+func directSweepBytes(t *testing.T, names []string, cfgs []boom.Config, scale workloads.Scale) (string, []byte) {
+	t.Helper()
+	r := core.New(core.FlowConfigFor(scale), core.WithScale(scale))
+	id := r.CampaignID(names, cfgs)
+	sw, err := r.Sweep(context.Background(), names, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSweep(id, scale, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id, b
+}
+
+// TestSingleFlightLoad is the acceptance load test: 32 concurrent
+// submissions of one campaign must trigger exactly one underlying sweep,
+// and every response body must be byte-identical to a direct Runner.Sweep
+// of the same campaign.
+func TestSingleFlightLoad(t *testing.T) {
+	names := []string{"sha"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	wantID, want := directSweepBytes(t, names, cfgs, workloads.ScaleTiny)
+
+	s, ts := newTestServer(t, Config{})
+	const clients = 32
+	body := `{"workloads":["sha"],"configs":["medium"],"scale":"tiny"}`
+
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	ids := make([]string, clients)
+	results := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			statuses[i] = resp.StatusCode
+			var st Status
+			if err := json.Unmarshal(b, &st); err != nil {
+				errs[i] = fmt.Errorf("submit response %q: %w", b, err)
+				return
+			}
+			ids[i] = st.ID
+			rr, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID + "/result?wait=1")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rb, err := io.ReadAll(rr.Body)
+			rr.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rr.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("result status %d: %s", rr.StatusCode, rb)
+				return
+			}
+			results[i] = rb
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted, collapsed int
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		switch statuses[i] {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusOK:
+			collapsed++
+		default:
+			t.Errorf("client %d: submit status %d", i, statuses[i])
+		}
+		if ids[i] != wantID {
+			t.Errorf("client %d: job id %q, want campaign fingerprint %q", i, ids[i], wantID)
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Errorf("client %d: result differs from direct Runner.Sweep:\ngot  %s\nwant %s",
+				i, results[i], want)
+		}
+	}
+	if accepted != 1 || collapsed != clients-1 {
+		t.Errorf("accepted=%d collapsed=%d, want 1 and %d", accepted, collapsed, clients-1)
+	}
+	reg := s.Metrics()
+	if got := reg.Counter("serve.sweeps_started").Value(); got != 1 {
+		t.Errorf("serve.sweeps_started = %d, want exactly 1 (single flight)", got)
+	}
+	if got := reg.Counter("serve.jobs_collapsed").Value(); got != int64(clients-1) {
+		t.Errorf("serve.jobs_collapsed = %d, want %d", got, clients-1)
+	}
+	// Exactly one engine run: 1 profile + 1 measure task.
+	if got := reg.Counter("core.sweep.tasks").Value(); got != 2 {
+		t.Errorf("core.sweep.tasks = %d, want 2 (one underlying sweep)", got)
+	}
+}
+
+// TestGracefulDrainResume is the acceptance drain test: SIGTERM
+// (Shutdown) during a sweep cancels it with completed tasks journaled; a
+// fresh server over the same cache dir with Resume replays the journal
+// and completes the campaign without recomputing the journaled tasks.
+func TestGracefulDrainResume(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"sha", "qsort"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	body := `{"workloads":["sha","qsort"],"configs":["medium"],"scale":"tiny"}`
+	_, want := directSweepBytes(t, names, cfgs, workloads.ScaleTiny)
+
+	// Phase 1: a server whose sweep blocks after 2 completed tasks (both
+	// profiles, journaled "done"), standing in for a long campaign.
+	release := make(chan struct{})
+	hookHit := make(chan struct{})
+	var once sync.Once
+	srvA, err := New(Config{
+		CacheDir:    dir,
+		Parallelism: 1,
+		TaskHook: func(completed int) {
+			if completed == 2 {
+				once.Do(func() { close(hookHit) })
+				<-release
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	resp, b := postCampaign(t, tsA, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	<-hookHit // two tasks journaled, worker parked mid-sweep
+
+	// SIGTERM path: drain with a grace the parked sweep cannot meet.
+	dctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srvA.Shutdown(dctx) }()
+	<-srvA.baseCtx.Done() // grace expired, sweeps canceled
+	close(release)
+	if err := <-errc; err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if rr, rb := get(t, tsA.URL+"/v1/sweeps/"+st.ID+"/result"); rr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("canceled sweep served %d %s, want 500", rr.StatusCode, rb)
+	}
+	if rr, _ := get(t, tsA.URL+"/readyz"); rr.StatusCode != http.StatusServiceUnavailable {
+		t.Error("draining server must fail readiness")
+	}
+	if rr, _ := postCampaign(t, tsA, body); rr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining server admitted a submission (%d)", rr.StatusCode)
+	}
+
+	// Phase 2: restart over the same cache dir with -resume; resubmitting
+	// the campaign replays the journal.
+	srvB, tsB := newTestServer(t, Config{CacheDir: dir, Resume: true, Parallelism: 1})
+	resp, b = postCampaign(t, tsB, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, b)
+	}
+	rr, rb := get(t, tsB.URL+"/v1/sweeps/"+st.ID+"/result?wait=1")
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("resumed sweep: %d %s", rr.StatusCode, rb)
+	}
+	if !bytes.Equal(rb, want) {
+		t.Errorf("resumed result differs from direct run:\ngot  %s\nwant %s", rb, want)
+	}
+	if got := srvB.Metrics().Counter("core.sweep.tasks_resumed").Value(); got != 2 {
+		t.Errorf("core.sweep.tasks_resumed = %d, want 2 (the journaled tasks)", got)
+	}
+}
+
+// TestChaosDrillOverHTTP: a daemon armed with a transient chaos fault and
+// a retry budget must absorb the fault and still serve bytes identical to
+// a fault-free direct run.
+func TestChaosDrillOverHTTP(t *testing.T) {
+	names := []string{"sha"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	_, want := directSweepBytes(t, names, cfgs, workloads.ScaleTiny)
+
+	s, ts := newTestServer(t, Config{
+		Chaos:   "1:core.measure/sha/MediumBOOM=error",
+		Retries: 2,
+	})
+	resp, b := postCampaign(t, ts, `{"workloads":["sha"],"configs":["medium"],"scale":"tiny"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1")
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("chaos sweep: %d %s", rr.StatusCode, rb)
+	}
+	if !bytes.Equal(rb, want) {
+		t.Errorf("retried result not bit-identical to fault-free run:\ngot  %s\nwant %s", rb, want)
+	}
+	if got := s.Metrics().Counter("core.sweep.retries").Value(); got == 0 {
+		t.Error("injected transient fault consumed no retry — chaos not armed?")
+	}
+}
+
+// TestBackpressure: with a one-deep queue and the only worker parked, a
+// third campaign must be rejected with 429 and a Retry-After hint.
+func TestBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, Config{
+		QueueDepth: 1,
+		TaskHook: func(completed int) {
+			once.Do(func() { close(started) })
+			<-block
+		},
+	})
+	defer close(block)
+
+	submit := func(wl string) (*http.Response, []byte) {
+		return postCampaign(t, ts,
+			`{"workloads":["`+wl+`"],"configs":["medium"],"scale":"tiny"}`)
+	}
+	if resp, b := submit("sha"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, b)
+	}
+	<-started // worker is busy with sha, queue is empty
+	if resp, b := submit("qsort"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d %s", resp.StatusCode, b)
+	}
+	resp, b := submit("bitcount")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d %s, want 429", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After hint")
+	}
+	if got := s.Metrics().Counter("serve.jobs_rejected_full").Value(); got != 1 {
+		t.Errorf("serve.jobs_rejected_full = %d, want 1", got)
+	}
+}
+
+// TestValidation: malformed and unknown campaigns are 400s; unknown job
+// IDs are 404s; the error payload is JSON.
+func TestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"workloads": [`},
+		{"unknown field", `{"workload": ["sha"]}`},
+		{"unknown workload", `{"workloads":["linpack"]}`},
+		{"duplicate workload", `{"workloads":["sha","sha"]}`},
+		{"unknown config", `{"configs":["GigaBOOM"]}`},
+		{"duplicate config", `{"configs":["medium","MediumBOOM"]}`},
+		{"unknown scale", `{"scale":"huge"}`},
+	} {
+		resp, b := postCampaign(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d %s, want 400", tc.name, resp.StatusCode, b)
+		}
+		var je jsonError
+		if err := json.Unmarshal(b, &je); err != nil || je.Error == "" {
+			t.Errorf("%s: error payload %q is not {\"error\":...}", tc.name, b)
+		}
+	}
+	for _, path := range []string{"/v1/sweeps/nope", "/v1/sweeps/nope/result"} {
+		if resp, b := get(t, ts.URL+path); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d %s, want 404", path, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestHealthAndMetrics: liveness always passes, readiness flips on drain,
+// and /metrics speaks Prometheus text with both serving and engine series.
+func TestHealthAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if resp, b := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, b)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz before drain: %d", resp.StatusCode)
+	}
+
+	resp, b := postCampaign(t, ts, `{"workloads":["sha"],"configs":["medium"],"scale":"tiny"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1"); rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", rr.StatusCode, rb)
+	}
+
+	mr, mb := get(t, ts.URL+"/metrics")
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	for _, series := range []string{
+		"# TYPE serve_sweeps_done counter",
+		"serve_sweeps_done 1",
+		"serve_http_requests",
+		"core_sweep_tasks 2",
+	} {
+		if !strings.Contains(string(mb), series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	s.BeginDrain()
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200 (still alive)", resp.StatusCode)
+	}
+}
+
+// TestFailedJobResubmission: a failed campaign is not sticky — the next
+// submission of the same fingerprint re-runs it instead of collapsing
+// onto the failure.
+func TestFailedJobResubmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Chaos: "1:core.measure/sha/MediumBOOM=error-perm",
+	})
+	body := `{"workloads":["sha"],"configs":["medium"],"scale":"tiny"}`
+	resp, b := postCampaign(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1")
+	if rr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned sweep served %d %s, want 500", rr.StatusCode, rb)
+	}
+	// Fingerprinting ignores the injector, so the resubmission reuses the
+	// id; it must be re-admitted as a fresh job (202), not collapsed onto
+	// the failure (200). Each admission arms the chaos plan anew, so the
+	// re-run fails the same way — what matters here is that it *ran*.
+	resp, b = postCampaign(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after failure: %d %s, want 202", resp.StatusCode, b)
+	}
+	if rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1"); rr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("re-run sweep: %d %s, want the same injected failure", rr.StatusCode, rb)
+	}
+	if got := s.Metrics().Counter("serve.sweeps_started").Value(); got != 2 {
+		t.Errorf("serve.sweeps_started = %d, want 2 (failure is retriable)", got)
+	}
+}
+
+// TestConfigValidation: New must reject incoherent configs up front.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Resume: true}); err == nil {
+		t.Error("Resume without CacheDir must be rejected")
+	}
+	if _, err := New(Config{CacheVerify: true}); err == nil {
+		t.Error("CacheVerify without CacheDir must be rejected")
+	}
+	if _, err := New(Config{Chaos: "not-a-spec"}); err == nil {
+		t.Error("malformed chaos spec must be rejected at startup")
+	}
+}

@@ -40,6 +40,20 @@ func (s Scale) String() string {
 	return fmt.Sprintf("scale(%d)", int(s))
 }
 
+// ParseScale is the inverse of String: it resolves "tiny", "default" or
+// "paper" (the -scale flag values and the serving API's scale field).
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "default":
+		return ScaleDefault, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown scale %q (tiny|default|paper)", s)
+}
+
 // Segment is raw data the loader pokes into memory before the run (large
 // generated inputs that would be wasteful as .dword directives).
 type Segment struct {
