@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -95,4 +95,24 @@ serve-smoke:
 	rm -rf .serve-check
 	@echo "serve-smoke: OK"
 
-check: vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke
+# Kernel benchmarks: measure the hot-path kernels (BOOM tick, decode,
+# stats/power accumulate, functional step) and record cycles/sec, ns/op,
+# and allocs/op per BOOM config in BENCH_kernel.json. See README
+# "Performance" for the methodology.
+bench:
+	$(GO) run ./cmd/kernelbench -benchtime 2s -count 3
+
+# Bench smoke: every kernel benchmark runs once (-benchtime 1x) and the
+# JSON emitter must see all five kernels — catches perf-harness rot
+# without paying for real measurements.
+bench-smoke:
+	rm -rf .bench-check && mkdir -p .bench-check
+	$(GO) run ./cmd/kernelbench -benchtime 1x -out .bench-check/BENCH_kernel.json 2> /dev/null
+	for k in tick decode stats_accumulate power_accumulate func_step; do \
+		grep -q "\"kernel\": \"$$k\"" .bench-check/BENCH_kernel.json \
+			|| { echo "bench-smoke: kernel $$k missing"; exit 1; }; \
+	done
+	rm -rf .bench-check
+	@echo "bench-smoke: OK"
+
+check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke

@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -209,7 +210,7 @@ func BenchmarkAblationWarmup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	full, err := core.RunFull(w, cfg, core.DefaultFlowConfig())
+	full, err := core.New(core.DefaultFlowConfig()).RunFull(context.Background(), w, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,11 +224,11 @@ func BenchmarkAblationWarmup(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			p, err := core.ProfileWorkload(w2, fc)
+			p, err := core.New(fc).Profile(context.Background(), w2)
 			if err != nil {
 				b.Fatal(err)
 			}
-			r, err := core.RunSimPoint(p, cfg, fc)
+			r, err := core.New(fc).Run(context.Background(), p, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -37,8 +38,8 @@ var (
 func benchSweep(b *testing.B) *core.Sweep {
 	b.Helper()
 	sweepOnce.Do(func() {
-		sweepVal, sweepErr = core.RunSweep(workloads.Names(), boom.Configs(),
-			workloads.ScaleTiny, core.FlowConfigFor(workloads.ScaleTiny), nil)
+		sweepVal, sweepErr = core.New(core.FlowConfigFor(workloads.ScaleTiny), core.WithScale(workloads.ScaleTiny)).
+			Sweep(context.Background(), workloads.Names(), boom.Configs())
 	})
 	if sweepErr != nil {
 		b.Fatal(sweepErr)
@@ -145,8 +146,8 @@ func BenchmarkSimPointAccuracy(b *testing.B) {
 	var acc *core.Accuracy
 	var err error
 	for i := 0; i < b.N; i++ {
-		acc, err = core.ValidateAccuracy("bitcount", workloads.ScaleTiny,
-			boom.LargeBOOM(), core.DefaultFlowConfig())
+		acc, err = core.New(core.DefaultFlowConfig(), core.WithScale(workloads.ScaleTiny)).
+			Validate(context.Background(), "bitcount", boom.LargeBOOM())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/engineflags"
 	"repro/internal/serve"
 )
 
@@ -41,14 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("boomd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-	cacheDir := fs.String("cache", "", "artifact cache directory shared by all sweeps (empty = no caching)")
-	cacheVerify := fs.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
-	resume := fs.Bool("resume", false, "replay a matching sweep journal under -cache and rerun only unfinished tasks")
-	retries := fs.Int("retries", 0, "retries per sweep task on transient faults")
-	keepGoing := fs.Bool("keep-going", false, "serve partial campaigns instead of failing the job on the first task error")
-	stageTimeout := fs.Duration("stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
-	chaos := fs.String("chaos", "", "deterministic fault-injection plan SEED:SPEC (see internal/faultinject)")
-	jobs := fs.Int("j", 0, "per-sweep parallelism (0 = all cores)")
+	ef := engineflags.Register(fs)
 	queueDepth := fs.Int("queue", 8, "job queue depth; excess submissions get 429")
 	workers := fs.Int("workers", 1, "concurrent sweeps (keep 1 with -cache: the journal is per cache dir)")
 	grace := fs.Duration("grace", 30*time.Second, "drain grace on SIGTERM before canceling in-flight sweeps")
@@ -56,19 +50,22 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ef.Validate(); err != nil {
+		return err
+	}
 
 	logf := func(format string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, "boomd: "+format+"\n", a...)
 	}
 	srv, err := serve.New(serve.Config{
-		CacheDir:     *cacheDir,
-		CacheVerify:  *cacheVerify,
-		Resume:       *resume,
-		Retries:      *retries,
-		StageTimeout: *stageTimeout,
-		KeepGoing:    *keepGoing,
-		Chaos:        *chaos,
-		Parallelism:  *jobs,
+		CacheDir:     ef.CacheDir,
+		CacheVerify:  ef.CacheVerify,
+		Resume:       ef.Resume,
+		Retries:      ef.Retries,
+		StageTimeout: ef.StageTimeout,
+		KeepGoing:    ef.KeepGoing,
+		Chaos:        ef.Chaos,
+		Parallelism:  ef.Jobs,
 		QueueDepth:   *queueDepth,
 		SweepWorkers: *workers,
 		Log:          logf,

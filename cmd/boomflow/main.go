@@ -29,8 +29,7 @@ import (
 
 	"repro/internal/boom"
 	"repro/internal/core"
-	"repro/internal/faultinject"
-	"repro/internal/metrics"
+	"repro/internal/engineflags"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -43,13 +42,10 @@ func main() {
 	predictor := flag.String("predictor", "tage", "tage|gshare (Takeaway #7 ablation)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	trace := flag.Uint64("trace", 0, "emit a pipeline lifecycle trace for the first N instructions (full mode)")
-	metricsMode := flag.String("metrics", "", "emit flow metrics after the report: text|json")
-	metricsOut := flag.String("metrics-out", "-", "metrics destination (- = stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
-	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
-	cacheVerify := flag.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
-	chaos := flag.String("chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 1:boom.tick/*=panic#2x1 (see internal/faultinject)")
+	ef := engineflags.Register(flag.CommandLine)
+	ef.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -107,27 +103,15 @@ func main() {
 	}
 	fc := core.FlowConfigFor(scale)
 
-	var reg *metrics.Registry
 	opts := []core.Option{core.WithScale(scale)}
-	if *cacheDir != "" {
-		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
-	} else if *cacheVerify {
-		fatal(fmt.Errorf("-cache-verify requires -cache DIR"))
+	engineOpts, err := ef.Options()
+	if err != nil {
+		fatal(err)
 	}
-	switch *metricsMode {
-	case "":
-	case "text", "json":
-		reg = metrics.NewRegistry()
+	opts = append(opts, engineOpts...)
+	reg := ef.MetricsRegistry()
+	if reg != nil {
 		opts = append(opts, core.WithMetrics(reg))
-	default:
-		fatal(fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode))
-	}
-	if *chaos != "" {
-		inj, err := faultinject.Parse(*chaos)
-		if err != nil {
-			fatal(err)
-		}
-		opts = append(opts, core.WithFaultInjector(inj))
 	}
 	runner := core.New(fc, opts...)
 	ctx := context.Background()
@@ -215,29 +199,13 @@ func main() {
 		100*other.TotalMW()/r.TotalPowerMW())
 
 	if reg != nil {
-		if err := emitMetrics(reg, *metricsMode, *metricsOut); err != nil {
+		if ef.MetricsMode == "text" && (ef.MetricsOut == "-" || ef.MetricsOut == "") {
+			fmt.Println() // separate the report from the metrics dump
+		}
+		if err := ef.EmitMetrics(reg, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
-}
-
-// emitMetrics renders the registry to dest ("-" = stdout).
-func emitMetrics(reg *metrics.Registry, mode, dest string) error {
-	out := os.Stdout
-	if dest != "-" && dest != "" {
-		f, err := os.Create(dest)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	} else if mode == "text" {
-		fmt.Fprintln(out)
-	}
-	if mode == "json" {
-		return reg.WriteJSON(out)
-	}
-	return reg.WriteText(out)
 }
 
 func fatal(err error) {

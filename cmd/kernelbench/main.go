@@ -1,0 +1,215 @@
+// Command kernelbench runs the hot-path kernel benchmarks (BOOM tick,
+// decode, stats accumulate, power accumulate, functional step) and emits
+// a machine-readable BENCH_kernel.json with cycles/sec, ns/op, and
+// allocs/op per BOOM configuration:
+//
+//	go run ./cmd/kernelbench                      # writes BENCH_kernel.json
+//	go run ./cmd/kernelbench -benchtime 5s -out - # longer runs, to stdout
+//	go run ./cmd/kernelbench -benchtime 1x        # smoke: one iteration each
+//
+// It drives the same `go test -bench BenchmarkKernel` harness a developer
+// runs by hand — the benchmarks stay the single source of truth and this
+// command only adds the reproducible JSON envelope (Go version, GOOS/
+// GOARCH, CPU, benchtime) so numbers from different checkouts are
+// comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// kernelPackages are the packages holding BenchmarkKernel* functions.
+var kernelPackages = []string{
+	"./internal/boom",
+	"./internal/power",
+	"./internal/sim",
+}
+
+// Result is one benchmark line of BENCH_kernel.json.
+type Result struct {
+	Name         string  `json:"name"`   // e.g. KernelTickMediumBOOM
+	Kernel       string  `json:"kernel"` // tick, decode, stats_accumulate, power_accumulate, func_step
+	Config       string  `json:"config,omitempty"`
+	Package      string  `json:"package"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	NsPerInst    float64 `json:"ns_per_inst,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// Report is the full BENCH_kernel.json document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "kernelbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kernelbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchtime := fs.String("benchtime", "2s", "per-benchmark time or iteration count (go test -benchtime)")
+	out := fs.String("out", "BENCH_kernel.json", "output path (- = stdout)")
+	count := fs.Int("count", 1, "runs per benchmark (go test -count); the best ns/op run is kept")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	goArgs := []string{
+		"test", "-run", "^$", "-bench", "^BenchmarkKernel",
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count),
+	}
+	goArgs = append(goArgs, kernelPackages...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	// go test prints its benchmark lines before a test-failure exit, so
+	// surface what ran even when the harness errors afterwards.
+	fmt.Fprintf(stderr, "%s", raw)
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+
+	rep := parseBenchOutput(string(raw))
+	rep.GoVersion = runtime.Version()
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.Benchtime = *benchtime
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d kernels)\n", *out, len(rep.Results))
+	return nil
+}
+
+// parseBenchOutput converts `go test -bench -benchmem` text into a Report.
+// With -count > 1 the fastest (lowest ns/op) run of each benchmark wins.
+func parseBenchOutput(text string) *Report {
+	rep := &Report{}
+	best := map[string]int{} // name → index into rep.Results
+	pkg := ""
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		r, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		r.Package = pkg
+		if i, seen := best[r.Name]; seen {
+			if r.NsPerOp < rep.Results[i].NsPerOp {
+				rep.Results[i] = r
+			}
+			continue
+		}
+		best[r.Name] = len(rep.Results)
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// parseBenchLine parses one benchmark result line, e.g.
+//
+//	BenchmarkKernelTickMediumBOOM-8  66  17072339 ns/op  5366232 cycles/s  108.3 ns/inst  700816 B/op  1593 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs; unknown
+// units are ignored so new ReportMetric additions don't break the parser.
+func parseBenchLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 { // strip -GOMAXPROCS
+		name = name[:i]
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	r.Kernel, r.Config = splitKernelName(name)
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "cycles/s":
+			r.CyclesPerSec = v
+		case "ns/inst":
+			r.NsPerInst = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, true
+}
+
+// splitKernelName maps KernelTickMediumBOOM → (tick, MediumBOOM),
+// KernelDecode → (decode, "").
+func splitKernelName(name string) (kernel, config string) {
+	name = strings.TrimPrefix(name, "Kernel")
+	for _, cfg := range []string{"MediumBOOM", "LargeBOOM", "MegaBOOM"} {
+		if strings.HasSuffix(name, cfg) {
+			config = cfg
+			name = strings.TrimSuffix(name, cfg)
+			break
+		}
+	}
+	// CamelCase → snake_case: TickMedium stripped above leaves e.g.
+	// "StatsAccumulate" → stats_accumulate.
+	var b strings.Builder
+	for i, c := range name {
+		if c >= 'A' && c <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			c += 'a' - 'A'
+		}
+		b.WriteRune(c)
+	}
+	return b.String(), config
+}

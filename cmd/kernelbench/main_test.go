@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/boom
+cpu: AMD EPYC 7B13
+BenchmarkKernelTickMediumBOOM-8   	      66	  17072339 ns/op	   5366232 cycles/s	     108.3 ns/inst	  700816 B/op	    1593 allocs/op
+BenchmarkKernelTickMediumBOOM-8   	      70	  16900000 ns/op	   5400000 cycles/s	     107.0 ns/inst	  700000 B/op	    1593 allocs/op
+BenchmarkKernelDecode-8           	52000000	      22.65 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelStatsAccumulate-8  	 4900000	     241.4 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/boom	5.1s
+pkg: repro/internal/power
+BenchmarkKernelPowerAccumulateMegaBOOM-8	 3300000	     357.7 ns/op	     672 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/power	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := parseBenchOutput(sampleOutput)
+	if rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4 (duplicate runs must merge)", len(rep.Results))
+	}
+
+	tick := rep.Results[0]
+	if tick.Name != "KernelTickMediumBOOM" || tick.Kernel != "tick" || tick.Config != "MediumBOOM" {
+		t.Errorf("tick identity: %+v", tick)
+	}
+	if tick.Package != "repro/internal/boom" {
+		t.Errorf("tick package = %q", tick.Package)
+	}
+	// -count merging keeps the faster run.
+	if tick.NsPerOp != 16900000 || tick.CyclesPerSec != 5400000 || tick.Iterations != 70 {
+		t.Errorf("best-run merge failed: %+v", tick)
+	}
+	if tick.AllocsPerOp != 1593 {
+		t.Errorf("allocs = %d", tick.AllocsPerOp)
+	}
+
+	dec := rep.Results[1]
+	if dec.Kernel != "decode" || dec.Config != "" || dec.NsPerOp != 22.65 || dec.AllocsPerOp != 0 {
+		t.Errorf("decode: %+v", dec)
+	}
+	if rep.Results[2].Kernel != "stats_accumulate" {
+		t.Errorf("kernel name: %+v", rep.Results[2])
+	}
+
+	pw := rep.Results[3]
+	if pw.Kernel != "power_accumulate" || pw.Config != "MegaBOOM" || pw.Package != "repro/internal/power" {
+		t.Errorf("power: %+v", pw)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkKernelTick-8",             // no fields
+		"BenchmarkKernelTick-8 abc 1 ns/op", // bad iteration count
+		"Benchmark",                         // truncated
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

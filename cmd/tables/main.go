@@ -34,12 +34,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/boom"
 	"repro/internal/core"
-	"repro/internal/faultinject"
-	"repro/internal/metrics"
+	"repro/internal/engineflags"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -61,16 +59,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	csv := fs.Bool("csv", false, "write CSV files instead of text tables")
 	out := fs.String("out", ".", "output directory for -csv")
 	quiet := fs.Bool("q", false, "suppress progress output")
-	jobs := fs.Int("j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
-	metricsMode := fs.String("metrics", "", "emit sweep metrics after the tables: text|json")
-	metricsOut := fs.String("metrics-out", "-", "metrics destination (- = stdout)")
-	cacheDir := fs.String("cache", "", "artifact cache directory (empty = no caching)")
-	cacheVerify := fs.Bool("cache-verify", false, "recompute every cache hit and fail on divergence")
-	keepGoing := fs.Bool("keep-going", false, "run every (workload, config) pair despite failures; failed pairs render as FAILED cells")
-	resume := fs.Bool("resume", false, "replay the sweep journal under -cache and rerun only unfinished tasks")
-	retries := fs.Int("retries", 0, "retries per sweep task on transient faults")
-	stageTimeout := fs.Duration("stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
-	chaos := fs.String("chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 7:core.measure/sha/*=error (see internal/faultinject)")
+	ef := engineflags.Register(fs)
+	ef.RegisterMetrics(fs)
 	dieAfter := fs.Int("die-after", 0, "crash drill: exit(3) after N completed sweep tasks (tests -resume)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,35 +79,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	configs := boom.Configs()
 	fc := core.FlowConfigFor(scale)
 	opts := []core.Option{core.WithScale(scale), core.WithProgress(progress)}
-	if *jobs > 0 {
-		opts = append(opts, core.WithParallelism(*jobs))
+	engineOpts, err := ef.Options()
+	if err != nil {
+		return err
 	}
-	if *cacheDir != "" {
-		opts = append(opts, core.WithCache(*cacheDir), core.WithCacheVerify(*cacheVerify))
-	} else if *cacheVerify {
-		return fmt.Errorf("-cache-verify requires -cache DIR")
-	} else if *resume {
-		return fmt.Errorf("-resume requires -cache DIR (the journal lives there)")
-	}
-	if *keepGoing {
-		opts = append(opts, core.WithKeepGoing(true))
-	}
-	if *resume {
-		opts = append(opts, core.WithResume(true))
-	}
-	if *retries > 0 {
-		opts = append(opts, core.WithRetry(*retries, 10*time.Millisecond))
-	}
-	if *stageTimeout > 0 {
-		opts = append(opts, core.WithStageTimeout(*stageTimeout))
-	}
-	if *chaos != "" {
-		inj, err := faultinject.Parse(*chaos)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, core.WithFaultInjector(inj))
-	}
+	opts = append(opts, engineOpts...)
 	if *dieAfter > 0 {
 		n := *dieAfter
 		opts = append(opts, core.WithTaskHook(func(completed int) {
@@ -127,14 +93,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}))
 	}
-	var reg *metrics.Registry
-	switch *metricsMode {
-	case "":
-	case "text", "json":
-		reg = metrics.NewRegistry()
+	reg := ef.MetricsRegistry()
+	if reg != nil {
 		opts = append(opts, core.WithMetrics(reg))
-	default:
-		return fmt.Errorf("unknown -metrics mode %q (text|json)", *metricsMode)
 	}
 	sw, err := core.New(fc, opts...).Sweep(context.Background(), workloads.Names(), configs)
 	var failedTasks int
@@ -190,24 +151,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if reg != nil {
-		dst := stdout
-		if *metricsOut != "-" && *metricsOut != "" {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			dst = f
-		}
-		if *metricsMode == "json" {
-			err = reg.WriteJSON(dst)
-		} else {
-			err = reg.WriteText(dst)
-		}
-		if err != nil {
-			return err
-		}
+	if err := ef.EmitMetrics(reg, stdout); err != nil {
+		return err
 	}
 	if failedTasks > 0 {
 		return fmt.Errorf("sweep completed with %d failed task(s); tables above mark them FAILED", failedTasks)

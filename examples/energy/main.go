@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	configs := boom.Configs()
 	fc := core.FlowConfigFor(workloads.ScaleTiny)
 
-	sw, err := core.RunSweep(names, configs, workloads.ScaleTiny, fc, nil)
+	sw, err := core.New(fc, core.WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, configs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,11 +36,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := core.ProfileWorkload(w, fc)
+		p, err := core.New(fc).Profile(context.Background(), w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := core.RunSimPoint(p, cfg, fc)
+		r, err := core.New(fc).Run(context.Background(), p, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -22,7 +23,7 @@ func main() {
 
 	// 2. Profile: BBVs → SimPoint clustering → checkpoints.
 	fc := core.FlowConfigFor(workloads.ScaleTiny)
-	profile, err := core.ProfileWorkload(w, fc)
+	profile, err := core.New(fc).Profile(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func main() {
 		100*profile.Selection.Coverage)
 
 	// 3. Measure the simulation points on MediumBOOM and estimate power.
-	res, err := core.RunSimPoint(profile, boom.MediumBOOM(), fc)
+	res, err := core.New(fc).Run(context.Background(), profile, boom.MediumBOOM())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -26,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("profiling %s (%s scale)...\n", name, scale)
-	p, err := core.ProfileWorkload(w, fc)
+	p, err := core.New(fc).Profile(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("  k=%d clusters, %d simulation points, %.1f%% coverage\n\n",
 		p.Selection.K, p.NumSimPoints(), 100*p.Selection.Coverage)
 
-	sp, err := core.RunSimPoint(p, cfg, fc)
+	sp, err := core.New(fc).Run(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := core.RunFull(w2, cfg, fc)
+	full, err := core.New(fc).RunFull(context.Background(), w2, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

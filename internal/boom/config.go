@@ -198,22 +198,45 @@ func MegaBOOM() Config {
 	return c
 }
 
-// Configs returns the paper's three design points in Table I order.
+// registry holds one canonical instance of each design point, built once.
+// Lookups copy out of it and never hand back anything that can reach
+// these instances, so a caller mutating its copy (boomflow's -predictor
+// ablation flips Predictor, tests tweak RobEntries) cannot poison a later
+// sweep that resolves the same name.
+var registry = []Config{MediumBOOM(), LargeBOOM(), MegaBOOM()}
+
+// Configs returns the paper's three design points in Table I order. The
+// slice and its elements are the caller's to mutate.
 func Configs() []Config {
-	return []Config{MediumBOOM(), LargeBOOM(), MegaBOOM()}
+	out := make([]Config, len(registry))
+	copy(out, registry)
+	return out
 }
 
-// ConfigByName resolves "medium"/"large"/"mega" (or the full names).
+// ConfigByName resolves "medium"/"large"/"mega" (or the full names) to a
+// defensive copy of the canonical design point.
 func ConfigByName(name string) (Config, error) {
-	switch name {
-	case "medium", "MediumBOOM":
-		return MediumBOOM(), nil
-	case "large", "LargeBOOM":
-		return LargeBOOM(), nil
-	case "mega", "MegaBOOM":
-		return MegaBOOM(), nil
+	for i := range registry {
+		c := registry[i] // copy; Config is scalar-only, so this is deep
+		switch name {
+		case c.Name, shortName(c.Name):
+			return c, nil
+		}
 	}
 	return Config{}, fmt.Errorf("boom: unknown config %q", name)
+}
+
+// shortName maps "MediumBOOM" → "medium" etc.
+func shortName(full string) string {
+	switch full {
+	case "MediumBOOM":
+		return "medium"
+	case "LargeBOOM":
+		return "large"
+	case "MegaBOOM":
+		return "mega"
+	}
+	return full
 }
 
 // Validate checks structural invariants.

@@ -1,0 +1,68 @@
+package boom
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConfigByNameNoAliasing: a caller mutating the Config it got back
+// (the -predictor ablation does exactly this) must not poison later
+// lookups of the same name — each resolution is an independent copy.
+func TestConfigByNameNoAliasing(t *testing.T) {
+	a, err := ConfigByName("medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := a
+	a.Predictor = PredictorGShare
+	a.RobEntries = 1
+	a.Name = "poisoned"
+
+	b, err := ConfigByName("medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != pristine {
+		t.Fatalf("second lookup reflects the caller's mutation:\n got %+v\nwant %+v", b, pristine)
+	}
+	if full, err := ConfigByName("MediumBOOM"); err != nil || full != pristine {
+		t.Fatalf("full-name lookup drifted: %+v, %v", full, err)
+	}
+}
+
+// TestConfigsNoAliasing: mutating the slice Configs returns — elements or
+// order — must not leak into later calls.
+func TestConfigsNoAliasing(t *testing.T) {
+	first := Configs()
+	first[0].IntIssueSlots = 0
+	first[2].Name = "scrambled"
+	first[0], first[1] = first[1], first[0]
+
+	second := Configs()
+	want := []string{"MediumBOOM", "LargeBOOM", "MegaBOOM"}
+	for i, c := range second {
+		if c.Name != want[i] {
+			t.Fatalf("config %d is %q, want %q (mutation leaked)", i, c.Name, want[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %d no longer valid: %v", i, err)
+		}
+	}
+}
+
+// TestConfigRemainsScalarOnly: the defensive-copy guarantee relies on
+// Config assignment being a deep copy. If a reference-typed field
+// (slice, map, pointer) is ever added, the copies in ConfigByName and
+// Configs silently become shallow — this test turns that into a loud
+// failure pointing at the field.
+func TestConfigRemainsScalarOnly(t *testing.T) {
+	ct := reflect.TypeOf(Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Slice, reflect.Map, reflect.Ptr, reflect.Chan, reflect.Func, reflect.Interface:
+			t.Errorf("Config.%s is a %s: value assignment no longer deep-copies; "+
+				"ConfigByName/Configs must clone this field explicitly", f.Name, f.Type.Kind())
+		}
+	}
+}

@@ -41,14 +41,25 @@ const (
 
 // depRef is a reference to a producing uop. seq disambiguates recycled uop
 // objects: if the pointer's seq moved on, the producer has committed and the
-// dependency is satisfied.
+// dependency is satisfied. ready memoizes a satisfied dependency by nilling
+// the pointer — readiness is monotonic (seq values never repeat and stDone
+// holds until the uop commits and is recycled), so subsequent checks reduce
+// to a nil test.
 type depRef struct {
 	u   *uop
 	seq uint64
 }
 
-func (d depRef) ready() bool {
-	return d.u == nil || d.u.seq != d.seq || d.u.state == stDone
+func (d *depRef) ready() bool {
+	u := d.u
+	if u == nil {
+		return true
+	}
+	if u.seq != d.seq || u.state == stDone {
+		d.u = nil
+		return true
+	}
+	return false
 }
 
 type uop struct {
@@ -56,19 +67,11 @@ type uop struct {
 	pc      uint64
 	nextPC  uint64
 	memAddr uint64
-	memSize uint8
-	op      rv64.Op
-	class   rv64.Class
 	taken   bool
 
-	rs1, rs2, rs3, rd uint8
-	imm               int64 // retained for pipeline tracing
+	uopStatic // cracked form, copied from the per-PC decode cache
 
 	dep [3]depRef
-
-	dstInt, dstFp   bool
-	isLoad, isStore bool
-	fpData          bool // store data (or load dest) in FP file
 
 	state     uopState
 	doneAt    uint64
@@ -97,16 +100,19 @@ type Core struct {
 	retired uint64
 
 	next func(*sim.Retired) bool
-	peek *uop // one-uop fetch lookahead
+	trc  sim.Retired // reusable trace record (keeps pullTrace allocation-free)
+	peek *uop        // one-uop fetch lookahead
 	eof  bool
 
-	fetchBuf []*uop
-	rob      []*uop // FIFO, index 0 oldest
+	dec []decEntry // per-PC decode/crack cache
+
+	fetchBuf uopRing
+	rob      uopRing // FIFO, oldest first
 	intQ     []*uop
 	memQ     []*uop
 	fpQ      []*uop
-	stq      []*uop // stores in program order, pruned at commit
-	stdWait  []*uop // stores whose address issued but data is pending (STD)
+	stq      uopRing // stores in program order, pruned at commit
+	stdWait  []*uop  // stores whose address issued but data is pending (STD)
 
 	// Wrong-path pressure: while a mispredicted branch is unresolved the
 	// real front end keeps dispatching wrong-path uops into the issue
@@ -138,7 +144,14 @@ type Core struct {
 	traceW    io.Writer
 	traceLeft uint64
 
+	// Per-cycle activity accumulators, flushed into stats at interval
+	// boundaries (Stats/ResetStats/end of Run) instead of per cycle.
+	accCycles uint64
+	accOcc    [NumComponents]uint64
+	accHist   []uint64 // accHist[k] = cycles with int-queue occupancy k (clamped)
+
 	freeUops []*uop
+	arena    []uop
 }
 
 // New builds a core for cfg. Invalid configurations are returned as errors
@@ -153,23 +166,75 @@ func New(cfg Config) (*Core, error) {
 	c.icache = newCacheModel(cfg.ICacheKiB, cfg.ICacheWays, cfg.LineBytes)
 	c.dcache = newCacheModel(cfg.DCacheKiB, cfg.DCacheWays, cfg.LineBytes)
 	c.l2 = newCacheModel(cfg.L2KiB, cfg.L2Ways, cfg.LineBytes)
+
+	c.dec = make([]decEntry, decEntries)
+	c.fetchBuf = newUopRing(cfg.FetchBufferEntries)
+	c.rob = newUopRing(cfg.RobEntries)
+	c.stq = newUopRing(cfg.StqEntries)
+	c.intQ = make([]*uop, 0, cfg.IntIssueSlots)
+	c.memQ = make([]*uop, 0, cfg.MemIssueSlots)
+	c.fpQ = make([]*uop, 0, cfg.FpIssueSlots)
+	c.stdWait = make([]*uop, 0, cfg.StqEntries)
+	c.accHist = make([]uint64, cfg.IntIssueSlots+1)
+
+	// µop arena: the in-flight population is bounded by ROB + fetch buffer
+	// + the one-entry peek slot, so every µop the model will ever hold live
+	// is preallocated here and recycled through freeUops.
+	c.arena = make([]uop, cfg.RobEntries+cfg.FetchBufferEntries+2)
+	c.freeUops = make([]*uop, 0, len(c.arena))
+	for i := range c.arena {
+		c.freeUops = append(c.freeUops, &c.arena[i])
+	}
 	return c, nil
 }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
 
-// Stats returns the accumulated statistics.
-func (c *Core) Stats() *Stats { return c.stats }
+// Stats returns the accumulated statistics (flushing any batched per-cycle
+// accumulators first, so the counters are always current at the call).
+func (c *Core) Stats() *Stats {
+	c.flushAcc()
+	return c.stats
+}
 
 // ResetStats zeroes the counters while keeping all microarchitectural state
 // (predictors, caches, queues) — this is the warm-up boundary of the
-// SimPoint methodology.
+// SimPoint methodology. Batched accumulators from the warm-up are discarded
+// with the rest of the counters.
 func (c *Core) ResetStats() {
-	old := c.stats
 	c.stats = NewStats(&c.cfg)
 	c.bp.stats = c.stats
-	_ = old
+	c.accCycles = 0
+	c.accOcc = [NumComponents]uint64{}
+	for i := range c.accHist {
+		c.accHist[i] = 0
+	}
+}
+
+// flushAcc folds the batched per-cycle accumulators into stats. The
+// int-issue occupancy histogram flushes as a suffix sum: slot i was
+// occupied on every cycle whose occupancy exceeded i, so
+// IntIssueSlotCycles[i] gains the count of cycles with occupancy > i —
+// bit-identical to the per-cycle slot loop it replaces.
+func (c *Core) flushAcc() {
+	s := c.stats
+	s.Cycles += c.accCycles
+	c.accCycles = 0
+	for i, v := range c.accOcc {
+		if v != 0 {
+			s.Comp[i].Occupancy += v
+			c.accOcc[i] = 0
+		}
+	}
+	var suffix uint64
+	for k := len(c.accHist) - 1; k >= 1; k-- {
+		suffix += c.accHist[k]
+		c.accHist[k] = 0
+		if suffix != 0 {
+			s.IntIssueSlotCycles[k-1] += suffix
+		}
+	}
 }
 
 // SetMetrics attaches an optional metrics registry: every Run records
@@ -207,13 +272,14 @@ func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) (uint64, erro
 			c.recordRun(time.Since(t0), c.cycle-cyc0, c.retired-ret0)
 		}()
 	}
+	defer c.flushAcc()
 	c.next = next
 	c.eof = false
 	start := c.retired
 	target := start + maxRetire
 	lastRetired, lastProgress := c.retired, c.cycle
 	for c.retired < target {
-		if c.eof && c.peek == nil && len(c.rob) == 0 && len(c.fetchBuf) == 0 {
+		if c.eof && c.peek == nil && c.rob.len() == 0 && c.fetchBuf.len() == 0 {
 			break
 		}
 		if c.inj != nil && c.cycle&injCheckMask == 0 {
@@ -227,9 +293,9 @@ func (c *Core) Run(next func(*sim.Retired) bool, maxRetire uint64) (uint64, erro
 		} else if c.cycle-lastProgress > 100_000 {
 			return c.retired - start, &DeadlockError{
 				Cycle: c.cycle, Retired: c.retired,
-				ROB: len(c.rob), FetchBuf: len(c.fetchBuf),
+				ROB: c.rob.len(), FetchBuf: c.fetchBuf.len(),
 				IntQ: len(c.intQ), MemQ: len(c.memQ), FpQ: len(c.fpQ),
-				STQ: len(c.stq), MSHRs: c.mshrsBusy,
+				STQ: c.stq.len(), MSHRs: c.mshrsBusy,
 			}
 		}
 	}
@@ -256,7 +322,10 @@ func (c *Core) allocUop() *uop {
 	return new(uop)
 }
 
-// pullTrace refills the peek slot from the trace.
+// pullTrace refills the peek slot from the trace. The static part of the
+// µop comes from the per-PC decode cache; only the dynamic fields are
+// filled per instance. Dependencies are resolved against the rename state
+// at dispatch.
 func (c *Core) pullTrace() *uop {
 	if c.peek != nil {
 		return c.peek
@@ -264,8 +333,8 @@ func (c *Core) pullTrace() *uop {
 	if c.eof {
 		return nil
 	}
-	var r sim.Retired
-	if !c.next(&r) {
+	r := &c.trc
+	if !c.next(r) {
 		c.eof = true
 		return nil
 	}
@@ -275,18 +344,8 @@ func (c *Core) pullTrace() *uop {
 	u.pc = r.PC
 	u.nextPC = r.NextPC
 	u.memAddr = r.MemAddr
-	u.op = r.Inst.Op
-	u.class = r.Inst.Op.Class()
 	u.taken = r.Taken
-	u.memSize = uint8(r.Inst.Op.MemBytes())
-	u.isLoad = u.class == rv64.ClassLoad
-	u.isStore = u.class == rv64.ClassStore
-	u.fpData = r.Inst.Op.IsFPMem()
-	// Register dependencies (resolved against the rename state at dispatch;
-	// here we only record the architectural fields).
-	u.rs1, u.rs2, u.rs3 = r.Inst.Rs1, r.Inst.Rs2, r.Inst.Rs3
-	u.rd = r.Inst.Rd
-	u.imm = r.Inst.Imm
+	u.uopStatic = *c.lookupDecode(r.PC, r.Inst)
 	c.peek = u
 	return u
 }
@@ -346,12 +405,12 @@ func (c *Core) processCompletions() {
 // commit retires completed instructions in order.
 func (c *Core) commit() {
 	n := 0
-	for n < c.cfg.RetireWidth && len(c.rob) > 0 {
-		u := c.rob[0]
+	for n < c.cfg.RetireWidth && c.rob.len() > 0 {
+		u := c.rob.front()
 		if u.state != stDone {
 			break
 		}
-		c.rob = c.rob[1:]
+		c.rob.popFront()
 		c.stats.Comp[CompRob].Reads++
 		if u.isStore {
 			// Store data leaves the store queue and is written to the L1D.
@@ -364,8 +423,8 @@ func (c *Core) commit() {
 				c.l2.access(u.memAddr)
 			}
 			// Prune from the store queue (it is always the oldest).
-			if len(c.stq) > 0 && c.stq[0] == u {
-				c.stq = c.stq[1:]
+			if c.stq.len() > 0 && c.stq.front() == u {
+				c.stq.popFront()
 			}
 		}
 		if u.isLoad {
@@ -518,7 +577,8 @@ func (c *Core) issueMem(intReads, fpReads *int) {
 		// access the L1D.
 		blocked := false
 		var forwarder *uop
-		for _, s := range c.stq {
+		for j, nstq := 0, c.stq.len(); j < nstq; j++ {
+			s := c.stq.at(j)
 			if s.seq >= u.seq {
 				break
 			}
@@ -540,7 +600,7 @@ func (c *Core) issueMem(intReads, fpReads *int) {
 			continue
 		}
 		// Load issue searches the store queue (CAM) for forwarding.
-		c.stats.Comp[CompLSU].CAMSearches += uint64(len(c.stq))
+		c.stats.Comp[CompLSU].CAMSearches += uint64(c.stq.len())
 		if forwarder != nil {
 			*intReads--
 			c.stats.Comp[CompIntRF].Reads++
@@ -642,16 +702,28 @@ func (c *Core) countExec(u *uop) {
 // dispatch renames and dispatches up to DecodeWidth instructions from the
 // fetch buffer into the ROB and the issue queues.
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchBuf) > 0; n++ {
-		u := c.fetchBuf[0]
-		if len(c.rob) >= c.cfg.RobEntries {
+	for n := 0; n < c.cfg.DecodeWidth && c.fetchBuf.len() > 0; n++ {
+		u := c.fetchBuf.front()
+		if c.rob.len() >= c.cfg.RobEntries {
 			return
 		}
-		q := c.queueFor(u)
-		if len(*q) >= c.queueCap(u) {
+		// Queue selection, remaining capacity (wrong-path entries occupy
+		// slots until the flush), and the activity component are all keyed
+		// by the µop's precomputed queue selector.
+		var q *[]*uop
+		var cap_ int
+		var comp Component
+		switch u.qSel {
+		case qMem:
+			q, cap_, comp = &c.memQ, c.cfg.MemIssueSlots-c.wrongMem, CompMemIssue
+		case qFp:
+			q, cap_, comp = &c.fpQ, c.cfg.FpIssueSlots-c.wrongFp, CompFpIssue
+		default:
+			q, cap_, comp = &c.intQ, c.cfg.IntIssueSlots-c.wrongInt, CompIntIssue
+		}
+		if len(*q) >= cap_ {
 			return
 		}
-		u.dstInt, u.dstFp = dstFile(u)
 		if u.dstInt && c.intInFlight >= c.cfg.IntPhysRegs-32 {
 			return
 		}
@@ -661,11 +733,11 @@ func (c *Core) dispatch() {
 		if u.isLoad && c.ldqUsed >= c.cfg.LdqEntries {
 			return
 		}
-		if u.isStore && len(c.stq) >= c.cfg.StqEntries {
+		if u.isStore && c.stq.len() >= c.cfg.StqEntries {
 			return
 		}
 
-		c.fetchBuf = c.fetchBuf[1:]
+		c.fetchBuf.popFront()
 		c.stats.Comp[CompFetchBuffer].Reads++
 		c.traceDispatch(u)
 		if u == c.redirect {
@@ -677,7 +749,7 @@ func (c *Core) dispatch() {
 		// free lists (BOOM's allocation lists; Key Takeaway #3).
 		c.renameSources(u)
 		renameComp := CompIntRename
-		if u.dstFp || u.fpData || u.class == rv64.ClassFPALU || u.class == rv64.ClassFPMul || u.class == rv64.ClassFPDiv {
+		if u.fpRename {
 			renameComp = CompFpRename
 		}
 		c.stats.Comp[renameComp].Reads += uint64(u.nSrcs())
@@ -703,82 +775,37 @@ func (c *Core) dispatch() {
 			c.stats.Comp[CompLSU].Writes++
 		}
 		if u.isStore {
-			c.stq = append(c.stq, u)
+			c.stq.pushBack(u)
 			c.stats.Stores++
 			c.stats.Comp[CompLSU].Writes++
 		}
 
-		c.rob = append(c.rob, u)
+		c.rob.pushBack(u)
 		c.stats.Comp[CompRob].Writes++
 		*q = append(*q, u)
-		switch c.compFor(u) {
+		switch comp {
 		case CompMemIssue:
 			c.dispMem++
-			c.stats.Comp[CompMemIssue].Writes++
 		case CompFpIssue:
 			c.dispFp++
-			c.stats.Comp[CompFpIssue].Writes++
 		default:
 			c.dispInt++
-			c.stats.Comp[CompIntIssue].Writes++
 		}
+		c.stats.Comp[comp].Writes++
 		c.stats.Comp[CompOther].Reads++ // decode logic
 	}
 }
 
-func (c *Core) queueFor(u *uop) *[]*uop {
-	switch u.class {
-	case rv64.ClassLoad, rv64.ClassStore:
-		return &c.memQ
-	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
-		return &c.fpQ
-	}
-	return &c.intQ
-}
-
-func (c *Core) compFor(u *uop) Component {
-	switch u.class {
-	case rv64.ClassLoad, rv64.ClassStore:
-		return CompMemIssue
-	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
-		return CompFpIssue
-	}
-	return CompIntIssue
-}
-
-// queueCap returns the remaining capacity budget for u's queue, accounting
-// for wrong-path entries that occupy slots until the flush.
-func (c *Core) queueCap(u *uop) int {
-	switch u.class {
-	case rv64.ClassLoad, rv64.ClassStore:
-		return c.cfg.MemIssueSlots - c.wrongMem
-	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
-		return c.cfg.FpIssueSlots - c.wrongFp
-	}
-	return c.cfg.IntIssueSlots - c.wrongInt
-}
-
-// renameSources fills u.dep from the rename map.
+// renameSources fills u.dep from the rename map, walking the source-slot
+// table precomputed at crack time.
 func (c *Core) renameSources(u *uop) {
-	d := 0
-	if u.op.HasRs1() {
-		if u.op.FPRs1() {
-			u.dep[d] = c.lastFp[u.rs1]
-		} else if u.rs1 != 0 {
-			u.dep[d] = c.lastInt[u.rs1]
+	for d := 0; d < 3; d++ {
+		switch u.srcKind[d] {
+		case srcInt:
+			u.dep[d] = c.lastInt[u.srcReg[d]]
+		case srcFp:
+			u.dep[d] = c.lastFp[u.srcReg[d]]
 		}
-		d++
-	}
-	if u.op.HasRs2() {
-		if u.op.FPRs2() {
-			u.dep[d] = c.lastFp[u.rs2]
-		} else if u.rs2 != 0 {
-			u.dep[d] = c.lastInt[u.rs2]
-		}
-		d++
-	}
-	if u.op.HasRs3() {
-		u.dep[d] = c.lastFp[u.rs3]
 	}
 }
 
@@ -830,7 +857,7 @@ func (c *Core) fetch() {
 	if c.cycle < c.fetchReadyAt {
 		return
 	}
-	if len(c.fetchBuf) >= c.cfg.FetchBufferEntries {
+	if c.fetchBuf.len() >= c.cfg.FetchBufferEntries {
 		return
 	}
 	first := c.pullTrace()
@@ -858,7 +885,7 @@ func (c *Core) fetch() {
 	}
 
 	line := first.pc >> 6
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufferEntries; n++ {
+	for n := 0; n < c.cfg.FetchWidth && c.fetchBuf.len() < c.cfg.FetchBufferEntries; n++ {
 		u := c.pullTrace()
 		if u == nil {
 			return
@@ -868,7 +895,7 @@ func (c *Core) fetch() {
 		}
 		c.peek = nil
 		c.traceFetch(u)
-		c.fetchBuf = append(c.fetchBuf, u)
+		c.fetchBuf.pushBack(u)
 		c.stats.Comp[CompFetchBuffer].Writes++
 
 		stop := c.predict(u)
@@ -908,7 +935,7 @@ func (c *Core) predict(u *uop) bool {
 		return true
 
 	case rv64.ClassJAL:
-		if isCall(rv64.Inst{Op: u.op, Rd: u.rd}) {
+		if u.call {
 			c.bp.rasPush(u.pc + 4)
 		}
 		if tgt, hit := c.bp.btbLookup(u.pc); !hit || tgt != u.nextPC {
@@ -920,22 +947,21 @@ func (c *Core) predict(u *uop) bool {
 
 	case rv64.ClassJALR:
 		c.stats.Branches++
-		in := rv64.Inst{Op: u.op, Rd: u.rd, Rs1: u.rs1}
 		var predicted uint64
 		var havePred bool
-		if isReturn(in) {
+		if u.ret {
 			predicted, havePred = c.bp.rasPop()
 		} else {
 			predicted, havePred = c.bp.btbLookup(u.pc)
 		}
-		if isCall(in) {
+		if u.call {
 			c.bp.rasPush(u.pc + 4)
 		}
 		if !havePred || predicted != u.nextPC {
 			u.mispred = true
 			c.redirect, c.redirectDisp = u, false
 			c.stats.Mispredicts++
-			if !isReturn(in) {
+			if !u.ret {
 				c.bp.btbUpdate(u.pc, u.nextPC)
 			}
 		}
@@ -944,61 +970,32 @@ func (c *Core) predict(u *uop) bool {
 	return false
 }
 
-// accountOccupancy records per-cycle occupancy of every tracked structure.
+// accountOccupancy records per-cycle occupancy of every tracked structure
+// into the flat accumulators; flushAcc folds them into stats at interval
+// boundaries. The int-queue slot profile is recorded as an occupancy
+// histogram rather than a per-slot loop.
 func (c *Core) accountOccupancy() {
-	s := c.stats
-	s.Cycles++
-	s.Comp[CompFetchBuffer].Occupancy += uint64(len(c.fetchBuf))
-	s.Comp[CompRob].Occupancy += uint64(len(c.rob))
-	s.Comp[CompIntIssue].Occupancy += uint64(len(c.intQ) + c.wrongInt)
-	s.Comp[CompMemIssue].Occupancy += uint64(len(c.memQ) + c.wrongMem)
-	s.Comp[CompFpIssue].Occupancy += uint64(len(c.fpQ) + c.wrongFp)
-	s.Comp[CompLSU].Occupancy += uint64(c.ldqUsed + len(c.stq))
-	s.Comp[CompDCache].Occupancy += uint64(c.mshrsBusy)
-	for i := 0; i < len(c.intQ)+c.wrongInt && i < len(s.IntIssueSlotCycles); i++ {
-		s.IntIssueSlotCycles[i]++
+	c.accCycles++
+	c.accOcc[CompFetchBuffer] += uint64(c.fetchBuf.len())
+	c.accOcc[CompRob] += uint64(c.rob.len())
+	intOcc := len(c.intQ) + c.wrongInt
+	c.accOcc[CompIntIssue] += uint64(intOcc)
+	c.accOcc[CompMemIssue] += uint64(len(c.memQ) + c.wrongMem)
+	c.accOcc[CompFpIssue] += uint64(len(c.fpQ) + c.wrongFp)
+	c.accOcc[CompLSU] += uint64(c.ldqUsed + c.stq.len())
+	c.accOcc[CompDCache] += uint64(c.mshrsBusy)
+	if intOcc >= len(c.accHist) {
+		intOcc = len(c.accHist) - 1
 	}
+	c.accHist[intOcc]++
 }
 
-// nIntSrcs counts integer register file reads the uop performs.
-func (u *uop) nIntSrcs() int {
-	n := 0
-	if u.op.HasRs1() && !u.op.FPRs1() && u.rs1 != 0 {
-		n++
-	}
-	if u.op.HasRs2() && !u.op.FPRs2() && u.rs2 != 0 {
-		n++
-	}
-	return n
-}
+// nIntSrcs counts integer register file reads the uop performs (precomputed
+// at crack time).
+func (u *uop) nIntSrcs() int { return int(u.nIntSrc) }
 
-// nFpSrcs counts FP register file reads.
-func (u *uop) nFpSrcs() int {
-	n := 0
-	if u.op.HasRs1() && u.op.FPRs1() {
-		n++
-	}
-	if u.op.HasRs2() && u.op.FPRs2() {
-		n++
-	}
-	if u.op.HasRs3() {
-		n++
-	}
-	return n
-}
-
-func (u *uop) nSrcs() int { return u.nIntSrcs() + u.nFpSrcs() }
-
-// dstFile reports which register file (if any) the uop writes.
-func dstFile(u *uop) (dstInt, dstFp bool) {
-	if !u.op.HasRd() {
-		return false, false
-	}
-	if u.op.FPRd() {
-		return false, true
-	}
-	return u.rd != 0, false
-}
+// nFpSrcs counts FP register file reads (precomputed at crack time).
+func (u *uop) nFpSrcs() int { return int(u.nFpSrc) }
 
 func rangesOverlap(a uint64, an uint64, b uint64, bn uint64) bool {
 	return a < b+bn && b < a+an

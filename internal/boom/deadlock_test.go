@@ -18,7 +18,7 @@ func TestRunDeadlockTypedError(t *testing.T) {
 	// watchdog must fire.
 	u := &uop{seq: 1, state: stWaiting}
 	u.dep[0] = depRef{u: u, seq: 1}
-	c.rob = append(c.rob, u)
+	c.rob.pushBack(u)
 	c.intQ = append(c.intQ, u)
 
 	n, err := c.Run(func(*sim.Retired) bool { return false }, 1)

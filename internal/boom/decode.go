@@ -1,0 +1,140 @@
+package boom
+
+// Per-PC decode/crack cache. Cracking a committed instruction into a µop
+// used to re-derive every static property (class, register-file routing,
+// source counts, queue selection, call/return shape) from rv64.Op predicate
+// tables on every fetch. All of that is a pure function of the decoded
+// instruction, so the core caches the cracked form per PC and revalidates
+// by comparing the full rv64.Inst — the cache is semantically transparent:
+// a PC that re-decodes differently (alias, collision, self-modifying text)
+// simply misses and is re-cracked, never served stale. Only per-instance
+// dynamic fields (next PC, memory address, taken bit, dependencies) are
+// filled per µop.
+
+import "repro/internal/rv64"
+
+// Source-operand kinds for the rename stage, precomputed at crack time so
+// renameSources is a straight table walk instead of predicate calls.
+const (
+	srcNone uint8 = iota
+	srcInt        // read c.lastInt[srcReg]
+	srcFp         // read c.lastFp[srcReg]
+)
+
+// Issue-queue selector, precomputed at crack time.
+const (
+	qInt uint8 = iota
+	qMem
+	qFp
+)
+
+// uopStatic is everything about a µop that is a pure function of the
+// decoded instruction. It is computed once per PC by crack and copied into
+// each µop wholesale.
+type uopStatic struct {
+	op    rv64.Op
+	class rv64.Class
+
+	rs1, rs2, rs3, rd uint8
+	imm               int64 // retained for pipeline tracing
+	memSize           uint8
+
+	isLoad, isStore bool
+	fpData          bool // store data (or load dest) in FP file
+	dstInt, dstFp   bool
+
+	nIntSrc, nFpSrc uint8    // register-file read counts at issue
+	srcKind         [3]uint8 // rename-slot source kinds (srcNone/srcInt/srcFp)
+	srcReg          [3]uint8
+
+	fpRename bool  // rename activity charged to the FP map table
+	qSel     uint8 // qInt/qMem/qFp
+	call     bool
+	ret      bool
+}
+
+// crack fills st from a decoded instruction. The rename-slot layout must
+// match the historical renameSources exactly: slot 0 is rs1 when present,
+// the next slot is rs2 when present, then rs3 — a slot stays srcNone when
+// the operand is integer x0.
+func crack(in rv64.Inst, st *uopStatic) {
+	op := in.Op
+	cl := op.Class()
+	*st = uopStatic{
+		op: op, class: cl,
+		rs1: in.Rs1, rs2: in.Rs2, rs3: in.Rs3, rd: in.Rd,
+		imm:     in.Imm,
+		memSize: uint8(op.MemBytes()),
+		isLoad:  cl == rv64.ClassLoad,
+		isStore: cl == rv64.ClassStore,
+		fpData:  op.IsFPMem(),
+	}
+	if op.HasRd() {
+		if op.FPRd() {
+			st.dstFp = true
+		} else {
+			st.dstInt = in.Rd != 0
+		}
+	}
+	d := 0
+	if op.HasRs1() {
+		if op.FPRs1() {
+			st.srcKind[d], st.srcReg[d] = srcFp, in.Rs1
+			st.nFpSrc++
+		} else if in.Rs1 != 0 {
+			st.srcKind[d], st.srcReg[d] = srcInt, in.Rs1
+			st.nIntSrc++
+		}
+		d++
+	}
+	if op.HasRs2() {
+		if op.FPRs2() {
+			st.srcKind[d], st.srcReg[d] = srcFp, in.Rs2
+			st.nFpSrc++
+		} else if in.Rs2 != 0 {
+			st.srcKind[d], st.srcReg[d] = srcInt, in.Rs2
+			st.nIntSrc++
+		}
+		d++
+	}
+	if op.HasRs3() {
+		st.srcKind[d], st.srcReg[d] = srcFp, in.Rs3
+		st.nFpSrc++
+	}
+	switch cl {
+	case rv64.ClassLoad, rv64.ClassStore:
+		st.qSel = qMem
+	case rv64.ClassFPALU, rv64.ClassFPMul, rv64.ClassFPDiv:
+		st.qSel = qFp
+	}
+	st.fpRename = st.dstFp || st.fpData || st.qSel == qFp
+	st.call = isCall(in)
+	st.ret = isReturn(in)
+}
+
+// nSrcs counts rename map-table reads (sources in either file).
+func (st *uopStatic) nSrcs() int { return int(st.nIntSrc) + int(st.nFpSrc) }
+
+// decEntries sizes the direct-mapped decode cache: 4096 entries cover 16 KiB
+// of straight-line text at 4-byte spacing, larger loops still hit through
+// index reuse, and collisions are safe because entries revalidate against
+// the full instruction encoding.
+const decEntries = 4096
+
+type decEntry struct {
+	pc    uint64
+	valid bool
+	inst  rv64.Inst
+	st    uopStatic
+}
+
+// lookupDecode returns the cracked form of (pc, inst), cracking and caching
+// on miss or stale hit.
+func (c *Core) lookupDecode(pc uint64, inst rv64.Inst) *uopStatic {
+	e := &c.dec[(pc>>2)&uint64(len(c.dec)-1)]
+	if !e.valid || e.pc != pc || e.inst != inst {
+		crack(inst, &e.st)
+		e.pc, e.inst, e.valid = pc, inst, true
+	}
+	return &e.st
+}

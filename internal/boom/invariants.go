@@ -12,11 +12,11 @@ func (c *Core) assertInvariants() {
 	fail := func(format string, args ...interface{}) {
 		panic("boom invariant: " + fmt.Sprintf(format, args...))
 	}
-	if len(c.fetchBuf) > c.cfg.FetchBufferEntries {
-		fail("fetch buffer %d > %d", len(c.fetchBuf), c.cfg.FetchBufferEntries)
+	if c.fetchBuf.len() > c.cfg.FetchBufferEntries {
+		fail("fetch buffer %d > %d", c.fetchBuf.len(), c.cfg.FetchBufferEntries)
 	}
-	if len(c.rob) > c.cfg.RobEntries {
-		fail("ROB %d > %d", len(c.rob), c.cfg.RobEntries)
+	if c.rob.len() > c.cfg.RobEntries {
+		fail("ROB %d > %d", c.rob.len(), c.cfg.RobEntries)
 	}
 	if len(c.intQ) > c.cfg.IntIssueSlots {
 		fail("int IQ %d > %d", len(c.intQ), c.cfg.IntIssueSlots)
@@ -27,8 +27,8 @@ func (c *Core) assertInvariants() {
 	if len(c.fpQ) > c.cfg.FpIssueSlots {
 		fail("fp IQ %d > %d", len(c.fpQ), c.cfg.FpIssueSlots)
 	}
-	if len(c.stq) > c.cfg.StqEntries {
-		fail("STQ %d > %d", len(c.stq), c.cfg.StqEntries)
+	if c.stq.len() > c.cfg.StqEntries {
+		fail("STQ %d > %d", c.stq.len(), c.cfg.StqEntries)
 	}
 	if c.ldqUsed < 0 || c.ldqUsed > c.cfg.LdqEntries {
 		fail("LDQ %d of %d", c.ldqUsed, c.cfg.LdqEntries)
@@ -46,13 +46,13 @@ func (c *Core) assertInvariants() {
 		fail("wrong-path int overflow: %d+%d > %d", len(c.intQ), c.wrongInt, c.cfg.IntIssueSlots)
 	}
 	// Program order: ROB and STQ sequence numbers strictly increase.
-	for i := 1; i < len(c.rob); i++ {
-		if c.rob[i].seq <= c.rob[i-1].seq {
+	for i := 1; i < c.rob.len(); i++ {
+		if c.rob.at(i).seq <= c.rob.at(i-1).seq {
 			fail("ROB order violated at %d", i)
 		}
 	}
-	for i := 1; i < len(c.stq); i++ {
-		if c.stq[i].seq <= c.stq[i-1].seq {
+	for i := 1; i < c.stq.len(); i++ {
+		if c.stq.at(i).seq <= c.stq.at(i-1).seq {
 			fail("STQ order violated at %d", i)
 		}
 	}

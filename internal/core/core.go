@@ -20,16 +20,14 @@
 // speedup and its accuracy validation).
 //
 // The flow is driven through a Runner constructed with New and functional
-// options (WithScale, WithLib, WithMetrics, WithParallelism, WithProgress).
-// Every Runner method takes a context.Context with cooperative cancellation
-// at interval boundaries, and every stage is wrapped in a span when a
-// metrics registry is attached. The package-level free functions
-// (ProfileWorkload, RunSimPoint, RunFull, RunSweep, ValidateAccuracy) are
-// deprecated thin wrappers kept for compatibility.
+// options (WithScale, WithLib, WithMetrics, WithParallelism, WithProgress,
+// and the supervision/caching options — see runner.go). Every Runner method
+// takes a context.Context with cooperative cancellation at interval
+// boundaries, and every stage is wrapped in a span when a metrics registry
+// is attached.
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/asap7"
@@ -248,46 +246,4 @@ func (a Accuracy) ErrorPct() float64 {
 		return 0
 	}
 	return 100 * (a.SimPointIPC - a.FullIPC) / a.FullIPC
-}
-
-// --- Deprecated compatibility wrappers over the Runner API. ---
-
-// ProfileWorkload runs steps 1–3 of the flow.
-//
-// Deprecated: use New(fc).Profile(ctx, w).
-func ProfileWorkload(w *workloads.Workload, fc FlowConfig) (*Profile, error) {
-	return New(fc).Profile(context.Background(), w)
-}
-
-// RunSimPoint executes steps 4–5: measure every selected simulation point
-// on cfg and aggregate by cluster weight.
-//
-// Deprecated: use New(fc).Run(ctx, p, cfg).
-func RunSimPoint(p *Profile, cfg boom.Config, fc FlowConfig) (*Result, error) {
-	return New(fc).Run(context.Background(), p, cfg)
-}
-
-// RunFull executes the entire workload on the detailed model (the baseline
-// the SimPoint methodology replaces).
-//
-// Deprecated: use New(fc).RunFull(ctx, w, cfg).
-func RunFull(w *workloads.Workload, cfg boom.Config, fc FlowConfig) (*Result, error) {
-	return New(fc).RunFull(context.Background(), w, cfg)
-}
-
-// RunSweep profiles every named workload once and evaluates it on every
-// config with the SimPoint flow. progress (optional) receives step strings.
-//
-// Deprecated: use New(fc, WithScale(scale), WithProgress(progress)).Sweep.
-func RunSweep(names []string, configs []boom.Config, scale workloads.Scale,
-	fc FlowConfig, progress func(string)) (*Sweep, error) {
-	return New(fc, WithScale(scale), WithProgress(progress)).
-		Sweep(context.Background(), names, configs)
-}
-
-// ValidateAccuracy runs both the SimPoint flow and the full detailed model.
-//
-// Deprecated: use New(fc, WithScale(scale)).Validate(ctx, name, cfg).
-func ValidateAccuracy(name string, scale workloads.Scale, cfg boom.Config, fc FlowConfig) (*Accuracy, error) {
-	return New(fc, WithScale(scale)).Validate(context.Background(), name, cfg)
 }

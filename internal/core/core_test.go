@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -16,14 +17,14 @@ func profileOf(t *testing.T, name string) *Profile {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := ProfileWorkload(w, DefaultFlowConfig())
+	p, err := New(DefaultFlowConfig()).Profile(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return p
 }
 
-func TestProfileWorkload(t *testing.T) {
+func TestProfileStage(t *testing.T) {
 	p := profileOf(t, "bitcount")
 	if p.TotalInsts == 0 {
 		t.Fatal("no instructions profiled")
@@ -58,7 +59,7 @@ func TestProfileWorkload(t *testing.T) {
 func TestSimPointRunAggregates(t *testing.T) {
 	p := profileOf(t, "stringsearch")
 	cfg := boom.MediumBOOM()
-	r, err := RunSimPoint(p, cfg, DefaultFlowConfig())
+	r, err := New(DefaultFlowConfig()).Run(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestSpeedupAtExperimentScale(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := ProfileWorkload(w, fc)
+		p, err := New(fc).Profile(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := RunSimPoint(p, boom.LargeBOOM(), fc)
+		r, err := New(fc).Run(context.Background(), p, boom.LargeBOOM())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,8 @@ func TestSimPointAccuracy(t *testing.T) {
 		t.Skip("runs full detailed simulations")
 	}
 	for _, name := range []string{"bitcount", "sha", "basicmath", "fft"} {
-		acc, err := ValidateAccuracy(name, workloads.ScaleTiny, boom.LargeBOOM(), DefaultFlowConfig())
+		acc, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).
+			Validate(context.Background(), name, boom.LargeBOOM())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,8 +141,8 @@ func TestSimPointAccuracy(t *testing.T) {
 
 func TestSweepAndSpeedup(t *testing.T) {
 	names := []string{"sha", "tarfind", "qsort"}
-	sw, err := RunSweep(names, []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()},
-		workloads.ScaleTiny, DefaultFlowConfig(), nil)
+	sw, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).
+		Sweep(context.Background(), names, []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,11 +181,11 @@ func TestFlowDeterminism(t *testing.T) {
 		t.Fatal("profiling is not deterministic")
 	}
 	cfg := boom.LargeBOOM()
-	ra, err := RunSimPoint(a, cfg, DefaultFlowConfig())
+	ra, err := New(DefaultFlowConfig()).Run(context.Background(), a, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := RunSimPoint(b, cfg, DefaultFlowConfig())
+	rb, err := New(DefaultFlowConfig()).Run(context.Background(), b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,16 +207,16 @@ func TestPowerAccuracySimPointVsFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := ProfileWorkload(w, fc)
+		p, err := New(fc).Profile(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sp, err := RunSimPoint(p, cfg, fc)
+		sp, err := New(fc).Run(context.Background(), p, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		w2, _ := workloads.Build(name, workloads.ScaleTiny)
-		full, err := RunFull(w2, cfg, fc)
+		full, err := New(fc).RunFull(context.Background(), w2, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +235,7 @@ func TestCheckpointFilesDriveTheFlow(t *testing.T) {
 	fc := DefaultFlowConfig()
 	p := profileOf(t, "stringsearch")
 	cfg := boom.MediumBOOM()
-	direct, err := RunSimPoint(p, cfg, fc)
+	direct, err := New(fc).Run(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +251,7 @@ func TestCheckpointFilesDriveTheFlow(t *testing.T) {
 		}
 		p.Checkpoints[i] = k2
 	}
-	reloaded, err := RunSimPoint(p, cfg, fc)
+	reloaded, err := New(fc).Run(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestCheckpointFilesDriveTheFlow(t *testing.T) {
 // their weights must sum to the coverage.
 func TestPointsBracketAggregate(t *testing.T) {
 	p := profileOf(t, "bitcount")
-	r, err := RunSimPoint(p, boom.LargeBOOM(), DefaultFlowConfig())
+	r, err := New(DefaultFlowConfig()).Run(context.Background(), p, boom.LargeBOOM())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +289,11 @@ func TestPointsBracketAggregate(t *testing.T) {
 func TestParallelSweepDeterminism(t *testing.T) {
 	names := []string{"sha", "bitcount"}
 	cfgs := []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}
-	a, err := RunSweep(names, cfgs, workloads.ScaleTiny, DefaultFlowConfig(), nil)
+	a, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunSweep(names, cfgs, workloads.ScaleTiny, DefaultFlowConfig(), nil)
+	b, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +309,11 @@ func TestParallelSweepDeterminism(t *testing.T) {
 }
 
 func TestFlowErrorPaths(t *testing.T) {
-	if _, err := ValidateAccuracy("nope", workloads.ScaleTiny, boom.MediumBOOM(), DefaultFlowConfig()); err == nil {
+	if _, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Validate(context.Background(), "nope", boom.MediumBOOM()); err == nil {
 		t.Error("unknown workload must error")
 	}
-	if _, err := RunSweep([]string{"nope"}, []boom.Config{boom.MediumBOOM()},
-		workloads.ScaleTiny, DefaultFlowConfig(), nil); err == nil {
+	if _, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).
+		Sweep(context.Background(), []string{"nope"}, []boom.Config{boom.MediumBOOM()}); err == nil {
 		t.Error("sweep with unknown workload must error")
 	}
 	// Invalid simpoint config surfaces from profiling.
@@ -321,7 +323,7 @@ func TestFlowErrorPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ProfileWorkload(w, fc); err == nil {
+	if _, err := New(fc).Profile(context.Background(), w); err == nil {
 		t.Error("invalid simpoint config must error")
 	}
 }
@@ -333,7 +335,7 @@ func TestRunFullMatchesDirectModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := RunFull(w, boom.MediumBOOM(), fc)
+	full, err := New(fc).RunFull(context.Background(), w, boom.MediumBOOM())
 	if err != nil {
 		t.Fatal(err)
 	}

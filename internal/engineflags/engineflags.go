@@ -1,0 +1,186 @@
+// Package engineflags declares the sweep-engine command-line surface shared
+// by every binary that drives the flow (cmd/boomflow, cmd/tables,
+// cmd/boomd): caching, crash-resume, supervision, fault injection,
+// parallelism, and metrics emission. A new engine option is declared here
+// once and every binary picks it up in lockstep instead of each cmd
+// re-wiring (and drifting on) its own copy.
+//
+// Usage:
+//
+//	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+//	ef := engineflags.Register(fs)
+//	ef.RegisterMetrics(fs) // only tools that render a metrics registry
+//	fs.Parse(args)
+//	opts, err := ef.Options() // validated []core.Option
+//
+// Validation is strict: values that would silently misbehave (a
+// non-positive -j, -cache-verify without a cache directory, a malformed
+// -chaos plan) are rejected with a clear error instead of being clamped or
+// ignored.
+package engineflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// Flags holds the parsed engine flag values. Fields are exported so
+// daemons that thread them into their own config (cmd/boomd → serve.Config)
+// can read them directly after Validate.
+type Flags struct {
+	CacheDir     string
+	CacheVerify  bool
+	Resume       bool
+	Retries      int
+	KeepGoing    bool
+	StageTimeout time.Duration
+	Chaos        string
+	Jobs         int
+
+	MetricsMode string // "", "text", "json" (set only if RegisterMetrics)
+	MetricsOut  string
+
+	fs         *flag.FlagSet
+	hasMetrics bool
+	injector   *faultinject.Injector
+}
+
+// RetryBackoff is the base backoff between transient-fault retries used by
+// every binary (kept identical so sweep timing is comparable across tools).
+const RetryBackoff = 10 * time.Millisecond
+
+// Register declares the shared engine flags on fs and returns the value
+// holder. Call Validate (or Options, which validates) after fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{fs: fs}
+	fs.StringVar(&f.CacheDir, "cache", "", "artifact cache directory (empty = no caching)")
+	fs.BoolVar(&f.CacheVerify, "cache-verify", false, "recompute every cache hit and fail on divergence")
+	fs.BoolVar(&f.Resume, "resume", false, "replay the sweep journal under -cache and rerun only unfinished tasks")
+	fs.IntVar(&f.Retries, "retries", 0, "retries per sweep task on transient faults")
+	fs.BoolVar(&f.KeepGoing, "keep-going", false, "run every (workload, config) pair despite failures instead of aborting")
+	fs.DurationVar(&f.StageTimeout, "stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
+	fs.StringVar(&f.Chaos, "chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 7:core.measure/sha/*=error (see internal/faultinject)")
+	fs.IntVar(&f.Jobs, "j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
+	return f
+}
+
+// RegisterMetrics additionally declares -metrics/-metrics-out for tools
+// that render a metrics registry after their report.
+func (f *Flags) RegisterMetrics(fs *flag.FlagSet) {
+	f.hasMetrics = true
+	fs.StringVar(&f.MetricsMode, "metrics", "", "emit flow metrics after the report: text|json")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "-", "metrics destination (- = stdout)")
+}
+
+// Validate checks cross-flag consistency and value ranges. It must run
+// after fs.Parse. Errors name the offending flag.
+func (f *Flags) Validate() error {
+	explicitJobs := false
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "j" {
+			explicitJobs = true
+		}
+	})
+	if explicitJobs && f.Jobs <= 0 {
+		return fmt.Errorf("-j %d: parallelism must be ≥ 1 (omit -j to use all cores)", f.Jobs)
+	}
+	if f.Retries < 0 {
+		return fmt.Errorf("-retries %d: must be ≥ 0", f.Retries)
+	}
+	if f.StageTimeout < 0 {
+		return fmt.Errorf("-stage-timeout %s: must be ≥ 0", f.StageTimeout)
+	}
+	if f.CacheDir == "" {
+		if f.CacheVerify {
+			return fmt.Errorf("-cache-verify requires -cache DIR")
+		}
+		if f.Resume {
+			return fmt.Errorf("-resume requires -cache DIR (the journal lives there)")
+		}
+	}
+	if f.Chaos != "" {
+		inj, err := faultinject.Parse(f.Chaos)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		f.injector = inj
+	}
+	if f.hasMetrics {
+		switch f.MetricsMode {
+		case "", "text", "json":
+		default:
+			return fmt.Errorf("unknown -metrics mode %q (text|json)", f.MetricsMode)
+		}
+	}
+	return nil
+}
+
+// Options validates the flags and builds the corresponding engine options.
+// Metrics are not included — callers that want instrumentation append
+// core.WithMetrics with the registry from MetricsRegistry, so they keep the
+// handle for rendering.
+func (f *Flags) Options() ([]core.Option, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if f.Jobs > 0 {
+		opts = append(opts, core.WithParallelism(f.Jobs))
+	}
+	if f.CacheDir != "" {
+		opts = append(opts, core.WithCache(f.CacheDir), core.WithCacheVerify(f.CacheVerify))
+	}
+	if f.KeepGoing {
+		opts = append(opts, core.WithKeepGoing(true))
+	}
+	if f.Resume {
+		opts = append(opts, core.WithResume(true))
+	}
+	if f.Retries > 0 {
+		opts = append(opts, core.WithRetry(f.Retries, RetryBackoff))
+	}
+	if f.StageTimeout > 0 {
+		opts = append(opts, core.WithStageTimeout(f.StageTimeout))
+	}
+	if f.injector != nil {
+		opts = append(opts, core.WithFaultInjector(f.injector))
+	}
+	return opts, nil
+}
+
+// MetricsRegistry returns a fresh registry when -metrics was requested
+// (after Validate), or nil when metrics are off.
+func (f *Flags) MetricsRegistry() *metrics.Registry {
+	if !f.hasMetrics || f.MetricsMode == "" {
+		return nil
+	}
+	return metrics.NewRegistry()
+}
+
+// EmitMetrics renders reg per -metrics/-metrics-out. stdout is the tool's
+// standard output (used when -metrics-out is "-" or empty).
+func (f *Flags) EmitMetrics(reg *metrics.Registry, stdout io.Writer) error {
+	if reg == nil {
+		return nil
+	}
+	dst := stdout
+	if f.MetricsOut != "-" && f.MetricsOut != "" {
+		file, err := os.Create(f.MetricsOut)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	if f.MetricsMode == "json" {
+		return reg.WriteJSON(dst)
+	}
+	return reg.WriteText(dst)
+}

@@ -1,0 +1,59 @@
+package power
+
+// Kernel microbenchmark of the power-accumulation path: converting one
+// interval's activity counters into the per-component leakage/internal/
+// switching split plus the per-slot Fig. 8 vector. Runs per BOOM config
+// because the inventory (and the slot count) scales with the design point.
+// Wrapped into BENCH_kernel.json by cmd/kernelbench.
+
+import (
+	"testing"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+)
+
+// kernelStats builds a deterministic synthetic activity trace sized for
+// cfg, so the benchmark needs no timing-model run.
+func kernelStats(cfg *boom.Config) *boom.Stats {
+	s := boom.NewStats(cfg)
+	s.Cycles, s.Insts = 1_000_000, 800_000
+	for c := range s.Comp {
+		s.Comp[c] = boom.Activity{
+			Reads: 100_000 + uint64(c)*1000, Writes: 50_000,
+			CAMSearches: 400_000, Shifts: 30_000, Occupancy: 5_000_000,
+		}
+	}
+	for i := range s.IntIssueSlotCycles {
+		s.IntIssueSlotCycles[i] = uint64(900_000 - 900_000*i/len(s.IntIssueSlotCycles))
+	}
+	for i := range s.ExecOps {
+		s.ExecOps[i] = 40_000
+	}
+	return s
+}
+
+func benchPowerAccumulate(b *testing.B, cfg boom.Config) {
+	st := kernelStats(&cfg)
+	est := NewEstimator(cfg, asap7.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(st); err != nil {
+			b.Fatal(err)
+		}
+		if slots := est.SlotPower(st); len(slots) == 0 {
+			b.Fatal("no slot power")
+		}
+	}
+}
+
+func BenchmarkKernelPowerAccumulateMediumBOOM(b *testing.B) {
+	benchPowerAccumulate(b, boom.MediumBOOM())
+}
+func BenchmarkKernelPowerAccumulateLargeBOOM(b *testing.B) {
+	benchPowerAccumulate(b, boom.LargeBOOM())
+}
+func BenchmarkKernelPowerAccumulateMegaBOOM(b *testing.B) {
+	benchPowerAccumulate(b, boom.MegaBOOM())
+}

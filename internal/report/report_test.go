@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -21,10 +22,10 @@ var (
 func testSweep(t *testing.T) *core.Sweep {
 	t.Helper()
 	sweepOnce.Do(func() {
-		sweepVal, sweepErr = core.RunSweep(
-			[]string{"sha", "qsort", "dijkstra"},
-			[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()},
-			workloads.ScaleTiny, core.DefaultFlowConfig(), nil)
+		sweepVal, sweepErr = core.New(core.DefaultFlowConfig(), core.WithScale(workloads.ScaleTiny)).
+			Sweep(context.Background(),
+				[]string{"sha", "qsort", "dijkstra"},
+				[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
 	})
 	if sweepErr != nil {
 		t.Fatal(sweepErr)

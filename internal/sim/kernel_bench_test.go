@@ -1,0 +1,39 @@
+package sim_test
+
+// Kernel microbenchmark of the functional simulator's per-instruction step
+// (decode-cache hit → execute → retire-record fill), the producer side of
+// the trace-driven timing model. Wrapped into BENCH_kernel.json by
+// cmd/kernelbench.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func BenchmarkKernelFuncStep(b *testing.B) {
+	w, err := workloads.Build("sha", workloads.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := w.NewCPU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r sim.Retired
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cpu.Halted {
+			b.StopTimer()
+			if cpu, err = w.NewCPU(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := cpu.Step(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
