@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke bench bench-smoke check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,52 @@ serve-smoke:
 	rm -rf .serve-check
 	@echo "serve-smoke: OK"
 
+# DSE smoke: boot boomd, drive a 2-axis parametric campaign (4 design
+# points) through cmd/dse, and require the shared-stage economy on the
+# cold run: one bbv/select/checkpoint chain for the workload next to 4
+# detailed measurements. Then restart boomd over the same cache and
+# require the warm rerun to be all measurement cache hits with a
+# byte-identical frontier (cmp).
+dse-smoke:
+	rm -rf .dse-check && mkdir -p .dse-check
+	$(GO) build -o .dse-check/boomd ./cmd/boomd
+	$(GO) build -o .dse-check/boomctl ./cmd/boomctl
+	$(GO) build -o .dse-check/dse ./cmd/dse
+	set -e; \
+	./.dse-check/boomd -addr 127.0.0.1:0 -q -cache .dse-check/cache \
+		> .dse-check/out.txt 2> .dse-check/log.txt & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q 'listening on' .dse-check/out.txt 2>/dev/null && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^boomd: listening on //p' .dse-check/out.txt | head -1); \
+	test -n "$$addr" || { echo "dse-smoke: boomd never bound"; kill $$pid; exit 1; }; \
+	./.dse-check/dse -addr $$addr -workloads sha -base medium \
+		-axes 'rob=48,64;predictor=tage,gshare' -scale tiny -json \
+		> .dse-check/cold.json; \
+	./.dse-check/boomctl -addr $$addr metrics > .dse-check/cold.metrics; \
+	grep -q '^artifact_bbv_miss 1$$' .dse-check/cold.metrics; \
+	grep -q '^artifact_select_miss 1$$' .dse-check/cold.metrics; \
+	grep -q '^artifact_checkpoint_miss 1$$' .dse-check/cold.metrics; \
+	grep -q '^artifact_measure_miss 4$$' .dse-check/cold.metrics; \
+	kill -TERM $$pid; wait $$pid; \
+	./.dse-check/boomd -addr 127.0.0.1:0 -q -cache .dse-check/cache \
+		> .dse-check/out2.txt 2> .dse-check/log2.txt & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q 'listening on' .dse-check/out2.txt 2>/dev/null && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^boomd: listening on //p' .dse-check/out2.txt | head -1); \
+	test -n "$$addr" || { echo "dse-smoke: second boomd never bound"; kill $$pid; exit 1; }; \
+	./.dse-check/dse -addr $$addr -workloads sha -base medium \
+		-axes 'rob=48,64;predictor=tage,gshare' -scale tiny -json \
+		> .dse-check/warm.json; \
+	./.dse-check/boomctl -addr $$addr metrics > .dse-check/warm.metrics; \
+	grep -q '^artifact_measure_hit 4$$' .dse-check/warm.metrics; \
+	! grep -q '^artifact_measure_miss [1-9]' .dse-check/warm.metrics; \
+	kill -TERM $$pid; wait $$pid
+	cmp .dse-check/cold.json .dse-check/warm.json
+	rm -rf .dse-check
+	@echo "dse-smoke: OK"
+
 # Kernel benchmarks: measure the hot-path kernels (BOOM tick, decode,
 # stats/power accumulate, functional step) and record cycles/sec, ns/op,
 # and allocs/op per BOOM config in BENCH_kernel.json. See README
@@ -115,4 +161,4 @@ bench-smoke:
 	rm -rf .bench-check
 	@echo "bench-smoke: OK"
 
-check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke
+check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke

@@ -39,7 +39,7 @@ func benchSweep(b *testing.B) *core.Sweep {
 	b.Helper()
 	sweepOnce.Do(func() {
 		sweepVal, sweepErr = core.New(core.FlowConfigFor(workloads.ScaleTiny), core.WithScale(workloads.ScaleTiny)).
-			Sweep(context.Background(), workloads.Names(), boom.Configs())
+			Sweep(context.Background(), core.NewCampaign(workloads.Names(), boom.Configs(), workloads.ScaleTiny))
 	})
 	if sweepErr != nil {
 		b.Fatal(sweepErr)

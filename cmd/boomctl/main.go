@@ -1,6 +1,7 @@
 // Command boomctl is the boomd client the tests and Makefile drive:
 //
 //	boomctl [-addr HOST:PORT] submit [-workloads sha,qsort] [-configs medium] [-scale tiny] [-wait]
+//	boomctl [-addr HOST:PORT] submit -base MediumBOOM -axes 'rob=64,96;predictor=tage,gshare' [-override 'l2-kib=1024']
 //	boomctl [-addr HOST:PORT] status ID
 //	boomctl [-addr HOST:PORT] result ID [-wait]
 //	boomctl [-addr HOST:PORT] metrics
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dse"
 	"repro/internal/serve"
 )
 
@@ -88,7 +90,7 @@ func run(args []string, out io.Writer) error {
 
 func usage() error {
 	return fmt.Errorf("usage: boomctl [-addr HOST:PORT] [-timeout D] " +
-		"submit [-workloads a,b] [-configs x,y] [-scale S] [-wait] | " +
+		"submit [-workloads a,b] [-configs x,y | -base CFG -axes 'p=v1,v2;…' -override 'p=v;…'] [-scale S] [-wait] | " +
 		"status ID | result ID [-wait] | metrics | health")
 }
 
@@ -99,26 +101,53 @@ type client struct {
 }
 
 func (c *client) submit(args []string) error {
-	var camp serve.Campaign
+	var req serve.SweepRequest
 	wait := false
 	for i := 0; i < len(args); i++ {
 		switch {
 		case args[i] == "-workloads" && i+1 < len(args):
 			i++
-			camp.Workloads = splitList(args[i])
+			req.Workloads = splitList(args[i])
 		case args[i] == "-configs" && i+1 < len(args):
 			i++
-			camp.Configs = splitList(args[i])
+			req.Configs = splitList(args[i])
 		case args[i] == "-scale" && i+1 < len(args):
 			i++
-			camp.Scale = args[i]
+			req.Scale = args[i]
+		case args[i] == "-base" && i+1 < len(args):
+			i++
+			req.Base = args[i]
+		case args[i] == "-axes" && i+1 < len(args):
+			i++
+			axes, err := dse.ParseAxes(args[i])
+			if err != nil {
+				return fmt.Errorf("-axes: %w", err)
+			}
+			req.Axes = map[string][]serve.AxisValue{}
+			for _, ax := range axes {
+				vals := make([]serve.AxisValue, len(ax.Values))
+				for j, v := range ax.Values {
+					vals[j] = serve.AxisValue(v)
+				}
+				req.Axes[ax.Param] = vals
+			}
+		case args[i] == "-override" && i+1 < len(args):
+			i++
+			ovs, err := dse.ParseOverrides(args[i])
+			if err != nil {
+				return fmt.Errorf("-override: %w", err)
+			}
+			req.ConfigOverrides = map[string]serve.AxisValue{}
+			for _, ov := range ovs {
+				req.ConfigOverrides[ov.Param] = serve.AxisValue(ov.Value)
+			}
 		case args[i] == "-wait":
 			wait = true
 		default:
 			return usage()
 		}
 	}
-	body, err := json.Marshal(camp)
+	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}

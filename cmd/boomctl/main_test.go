@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -66,6 +68,65 @@ func TestSubmitWait(t *testing.T) {
 	}
 	if !json.Valid(out.Bytes()) {
 		t.Errorf("result output is not JSON: %q", out.String())
+	}
+}
+
+// TestSubmitParametricBodyGolden pins the exact request bytes the
+// parametric flags produce: -base/-axes/-override must marshal into the
+// documented v2 POST /v1/sweeps shape (axis values as canonical strings,
+// map keys sorted by encoding/json), so any drift in the wire format —
+// which boomd-side request fingerprinting depends on — fails here before
+// it can strand a client.
+func TestSubmitParametricBodyGolden(t *testing.T) {
+	var gotBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var err error
+		if gotBody, err = io.ReadAll(r.Body); err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"job-golden","state":"queued"}`))
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", strings.TrimPrefix(ts.URL, "http://"), "submit",
+		"-workloads", "sha,qsort", "-base", "medium",
+		"-axes", "rob=64,96;predictor=tage,gshare",
+		"-override", "l2-kib=1024", "-scale", "tiny"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"workloads":["sha","qsort"],"scale":"tiny","base":"medium",` +
+		`"config_overrides":{"l2-kib":"1024"},` +
+		`"axes":{"predictor":["tage","gshare"],"rob":["64","96"]}}`
+	if string(gotBody) != want {
+		t.Errorf("parametric request body drifted:\n got %s\nwant %s", gotBody, want)
+	}
+	if got := strings.TrimSpace(out.String()); got != "job-golden" {
+		t.Errorf("submit printed %q, want the job id", got)
+	}
+
+	// The same flags must round-trip through a real server into a valid
+	// expansion: 2x2 points around the pinned L2.
+	addr := startServer(t, serve.Config{})
+	out.Reset()
+	if err := run([]string{"-addr", addr, "submit", "-workloads", "sha",
+		"-base", "medium", "-axes", "rob=64,96;predictor=tage,gshare",
+		"-override", "l2-kib=1024", "-scale", "tiny", "-wait"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res serve.SweepResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output %q is not a SweepResult: %v", out.String(), err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("expected 4 rows (2x2 axes, 1 workload), got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !strings.Contains(row.Config, "l2-kib=1024") {
+			t.Errorf("design point %q lost the override", row.Config)
+		}
 	}
 }
 

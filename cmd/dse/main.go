@@ -1,0 +1,234 @@
+// Command dse runs a parametric design-space exploration and reports the
+// Pareto frontier of IPC vs performance-per-watt per workload, plus the
+// efficiency-optimal design point each workload should pick:
+//
+//	dse -axes 'rob=48,64,96,128;predictor=tage,gshare'
+//	dse -workloads sha,qsort -base mega -override 'l2-kib=1024' -axes 'int-iq=16,24,32'
+//	dse -addr 127.0.0.1:8080 -axes 'rob=64,96' -json
+//	dse -params
+//
+// The base config plus the cross product of the axes expands into named,
+// validated design points (internal/dse); the campaign then runs either
+// in-process through core.Runner or, with -addr, through a boomd daemon
+// (POST /v1/sweeps with the parametric v2 body). Both paths produce the
+// same canonical result bytes, so the frontier is bit-identical however
+// the campaign executed. -json emits the canonical frontier encoding; the
+// default is a human-readable table. With -cache DIR the profile stages
+// are shared across runs and design points through the artifact cache.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workloads", "", "comma-separated workload names (empty = all)")
+	base := fs.String("base", "", "base design point (default MediumBOOM)")
+	axesFlag := fs.String("axes", "", "sweep axes: 'param=v1,v2;param2=v3,v4'")
+	ovFlag := fs.String("override", "", "fixed overrides: 'param=v;param2=v2'")
+	scaleFlag := fs.String("scale", "tiny", "workload scale: tiny|default|paper")
+	addr := fs.String("addr", "", "run through a boomd daemon at HOST:PORT instead of in-process")
+	jsonOut := fs.Bool("json", false, "emit the canonical frontier JSON instead of the text table")
+	cacheDir := fs.String("cache", "", "artifact cache directory for the in-process path")
+	params := fs.Bool("params", false, "list the sweepable parameters and exit")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	timeout := fs.Duration("timeout", 10*time.Minute, "HTTP client timeout for -addr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *params {
+		for _, line := range dse.Params() {
+			fmt.Fprintln(stdout, line)
+		}
+		return nil
+	}
+	if *axesFlag == "" && *ovFlag == "" && *base == "" {
+		return fmt.Errorf("nothing to explore: give -axes (and optionally -base, -override), or -params for the surface")
+	}
+
+	scale, err := workloads.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	spec := dse.Spec{Base: *base}
+	if *axesFlag != "" {
+		if spec.Axes, err = dse.ParseAxes(*axesFlag); err != nil {
+			return err
+		}
+	}
+	if *ovFlag != "" {
+		if spec.Overrides, err = dse.ParseOverrides(*ovFlag); err != nil {
+			return err
+		}
+	}
+	names := splitList(*wl)
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+
+	var result serve.SweepResult
+	var raw []byte
+	if *addr != "" {
+		raw, err = runRemote(*addr, *timeout, names, spec, *scaleFlag)
+	} else {
+		raw, err = runLocal(names, spec, scale, *cacheDir, *quiet, stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &result); err != nil {
+		return fmt.Errorf("decoding sweep result: %w", err)
+	}
+
+	cells := make([]dse.Cell, 0, len(result.Rows))
+	for _, row := range result.Rows {
+		cells = append(cells, dse.Cell{
+			Workload: row.Workload, Config: row.Config,
+			IPC: row.IPC, PowerMW: row.PowerMW, PerfPerWatt: row.PerfPerWatt,
+		})
+	}
+	rep := &dse.Report{
+		Campaign:     result.ID,
+		DesignPoints: len(result.Configs),
+		Workloads:    dse.Frontiers(cells),
+	}
+	if *jsonOut {
+		b, err := dse.EncodeReport(rep)
+		if err != nil {
+			return err
+		}
+		_, werr := stdout.Write(b)
+		return werr
+	}
+	fmt.Fprint(stdout, dse.FormatReport(rep))
+	return nil
+}
+
+// runLocal expands the spec and drives the campaign through core.Runner,
+// then encodes with the serving encoder so the bytes match a boomd run of
+// the same campaign.
+func runLocal(names []string, spec dse.Spec, scale workloads.Scale, cacheDir string, quiet bool, stderr io.Writer) ([]byte, error) {
+	cfgs, err := dse.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	camp := core.NewCampaign(names, cfgs, scale)
+	if err := camp.Validate(); err != nil {
+		return nil, err
+	}
+	opts := []core.Option{core.WithScale(scale)}
+	if !quiet {
+		fmt.Fprintf(stderr, "exploring %d design point(s) × %d workload(s) at %s scale\n",
+			len(cfgs), len(names), scale)
+		opts = append(opts, core.WithProgress(func(s string) { fmt.Fprintln(stderr, s) }))
+	}
+	if cacheDir != "" {
+		opts = append(opts, core.WithCache(cacheDir))
+	}
+	r := core.New(core.FlowConfigFor(scale), opts...)
+	sw, err := r.Sweep(context.Background(), camp)
+	if err != nil {
+		return nil, err
+	}
+	return serve.EncodeSweep(r.CampaignID(camp), scale, sw)
+}
+
+// runRemote submits the parametric v2 body to a boomd daemon and
+// long-polls the canonical result.
+func runRemote(addr string, timeout time.Duration, names []string, spec dse.Spec, scale string) ([]byte, error) {
+	req := serve.SweepRequest{Workloads: names, Scale: scale, Base: spec.Base}
+	if len(spec.Overrides) > 0 {
+		req.ConfigOverrides = map[string]serve.AxisValue{}
+		for _, s := range spec.Overrides {
+			req.ConfigOverrides[s.Param] = serve.AxisValue(s.Value)
+		}
+	}
+	if len(spec.Axes) > 0 {
+		req.Axes = map[string][]serve.AxisValue{}
+		for _, a := range spec.Axes {
+			vals := make([]serve.AxisValue, len(a.Values))
+			for i, v := range a.Values {
+				vals[i] = serve.AxisValue(v)
+			}
+			req.Axes[a.Param] = vals
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: timeout}
+	base := "http://" + addr
+	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	var st serve.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("decoding submit response: %w", err)
+	}
+	for {
+		rr, err := client.Get(base + "/v1/sweeps/" + st.ID + "/result?wait=1")
+		if err != nil {
+			return nil, err
+		}
+		rb, err := readBody(rr)
+		if err != nil {
+			return nil, err
+		}
+		if rr.StatusCode == http.StatusAccepted {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		return rb, nil
+	}
+}
+
+func readBody(resp *http.Response) ([]byte, error) {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

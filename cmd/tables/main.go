@@ -97,7 +97,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		opts = append(opts, core.WithMetrics(reg))
 	}
-	sw, err := core.New(fc, opts...).Sweep(context.Background(), workloads.Names(), configs)
+	sw, err := core.New(fc, opts...).Sweep(context.Background(),
+		core.NewCampaign(workloads.Names(), configs, scale))
 	var failedTasks int
 	if err != nil {
 		var se *core.SweepErrors

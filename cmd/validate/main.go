@@ -78,8 +78,8 @@ func main() {
 	}
 
 	// 3. Headline shapes on a small sweep.
-	sw, err := runner.Sweep(ctx, []string{"sha", "tarfind"},
-		[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
+	sw, err := runner.Sweep(ctx, core.NewCampaign([]string{"sha", "tarfind"},
+		[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}, workloads.ScaleTiny))
 	if err != nil {
 		check("sweep", false, err.Error())
 	} else {

@@ -55,7 +55,7 @@ func equivalenceDigests(t *testing.T) []string {
 	r := core.New(core.FlowConfigFor(scale), core.WithScale(scale))
 	names := workloads.Names()
 	configs := boom.Configs()
-	sw, err := r.Sweep(context.Background(), names, configs)
+	sw, err := r.Sweep(context.Background(), core.NewCampaign(names, configs, scale))
 	if err != nil {
 		t.Fatal(err)
 	}

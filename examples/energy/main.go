@@ -18,7 +18,8 @@ func main() {
 	configs := boom.Configs()
 	fc := core.FlowConfigFor(workloads.ScaleTiny)
 
-	sw, err := core.New(fc, core.WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, configs)
+	sw, err := core.New(fc, core.WithScale(workloads.ScaleTiny)).Sweep(context.Background(),
+		core.NewCampaign(names, configs, workloads.ScaleTiny))
 	if err != nil {
 		log.Fatal(err)
 	}

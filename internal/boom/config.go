@@ -239,7 +239,27 @@ func shortName(full string) string {
 	return full
 }
 
-// Validate checks structural invariants.
+// powerOfTwo reports whether n is a positive power of two — the shape
+// every indexed hardware table (cache sets and ways, predictor tables)
+// must have, since the index is a bit-field of the address or history.
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// cacheSetsOK checks one cache's geometry: power-of-two ways, the
+// capacity divisible into them, and a power-of-two set count (a
+// non-power-of-two set count has no index function).
+func cacheSetsOK(kib, ways, line int) bool {
+	if kib <= 0 || line <= 0 || !powerOfTwo(ways) {
+		return false
+	}
+	lines := kib * 1024 / line
+	return lines%ways == 0 && powerOfTwo(lines/ways)
+}
+
+// Validate checks structural invariants. Parametric expansion
+// (internal/dse) runs every generated design point through here, so an
+// invalid corner of a sweep — a width inversion, a non-power-of-two cache
+// geometry, a zero-depth queue — fails loudly at expansion time instead
+// of producing a design point the timing model cannot mean anything for.
 func (c *Config) Validate() error {
 	check := func(ok bool, what string) error {
 		if !ok {
@@ -250,16 +270,24 @@ func (c *Config) Validate() error {
 	for _, e := range []error{
 		check(c.FetchWidth > 0 && c.DecodeWidth > 0 && c.RetireWidth > 0, "widths"),
 		check(c.DecodeWidth <= c.FetchWidth, "decode vs fetch width"),
+		check(c.RetireWidth >= c.DecodeWidth, "retire vs decode width"),
+		check(c.FetchBufferEntries >= c.FetchWidth, "fetch buffer"),
+		check(c.BTBEntries > 0 && c.RASEntries > 0 &&
+			c.TageTables > 0 && c.TageEntries > 0 && c.GShareEntries > 0, "predictor tables"),
 		check(c.RobEntries >= 2*c.DecodeWidth, "ROB size"),
 		check(c.IntPhysRegs > 32 && c.FpPhysRegs > 32, "physical registers"),
 		check(c.IntIssueSlots > 0 && c.MemIssueSlots > 0 && c.FpIssueSlots > 0, "issue slots"),
+		check(c.IntIssueWidth > 0 && c.MemIssueWidth > 0 && c.FpIssueWidth > 0, "issue widths"),
+		check(c.IntIssueWidth <= c.IntIssueSlots && c.MemIssueWidth <= c.MemIssueSlots &&
+			c.FpIssueWidth <= c.FpIssueSlots, "issue width vs slots"),
 		check(c.IntRFReadPorts >= 2*c.IntIssueWidth, "int RF read ports"),
+		check(c.IntRFWritePorts > c.IntIssueWidth, "int RF write ports"),
 		check(c.LdqEntries > 0 && c.StqEntries > 0, "LSU queues"),
 		check(c.DCacheKiB > 0 && c.DCacheWays > 0 && c.LineBytes > 0, "D-cache geometry"),
-		check((c.DCacheKiB*1024/c.LineBytes)%c.DCacheWays == 0, "D-cache sets"),
-		check((c.ICacheKiB*1024/c.LineBytes)%c.ICacheWays == 0, "I-cache sets"),
+		check(cacheSetsOK(c.DCacheKiB, c.DCacheWays, c.LineBytes), "D-cache sets"),
+		check(cacheSetsOK(c.ICacheKiB, c.ICacheWays, c.LineBytes), "I-cache sets"),
 		check(c.DCacheMSHRs > 0, "MSHRs"),
-		check(c.L2KiB > 0 && c.L2Ways > 0 && (c.L2KiB*1024/c.LineBytes)%c.L2Ways == 0, "L2 geometry"),
+		check(c.L2KiB > 0 && c.L2Ways > 0 && cacheSetsOK(c.L2KiB, c.L2Ways, c.LineBytes), "L2 geometry"),
 		check(c.L2Latency > 0 && c.MemLatency > 0, "memory latencies"),
 		check(c.ClockMHz > 0, "clock"),
 	} {

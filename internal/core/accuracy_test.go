@@ -41,7 +41,7 @@ func TestDifferentialAccuracy(t *testing.T) {
 	names := workloads.Names()
 
 	cold := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir))
-	sw, err := cold.Sweep(ctx, names, []boom.Config{cfg})
+	sw, err := cold.Sweep(ctx, tcamp(names, []boom.Config{cfg}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestDifferentialAccuracy(t *testing.T) {
 	// every estimate must come back bit-for-bit.
 	reg := metrics.NewRegistry()
 	warm := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir), WithMetrics(reg))
-	sw2, err := warm.Sweep(ctx, names, []boom.Config{cfg})
+	sw2, err := warm.Sweep(ctx, tcamp(names, []boom.Config{cfg}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,14 +48,14 @@ func TestWarmCacheSweepSpeedup(t *testing.T) {
 	cfgs := []boom.Config{boom.MediumBOOM()}
 
 	t0 := time.Now()
-	coldSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, names, cfgs)
+	coldSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	coldDur := time.Since(t0)
 
 	t1 := time.Now()
-	warmSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, names, cfgs)
+	warmSW, err := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir)).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boom"
+	"repro/internal/workloads"
+)
+
+// Campaign is the unit of sweep identity: the workloads, the design
+// points, and the scale they are evaluated at. It replaces the
+// (names []string, configs []boom.Config) pairs that used to thread
+// through Sweep, the crash-resume journal, and the serving layer — one
+// value now carries everything the campaign fingerprint covers, so the
+// engine cannot be handed a workload list and a config list that belong
+// to different campaigns.
+//
+// The zero value is the empty campaign at ScaleTiny; use NewCampaign or a
+// composite literal. Configs may be the registry's named trio or design
+// points expanded from parametric axes (internal/dse) — the engine does
+// not distinguish: every config is a full boom.Config value, and the
+// fingerprint hashes every field of every config, so any axis change
+// yields a different campaign identity.
+type Campaign struct {
+	// Workloads lists benchmark names (internal/workloads.Names order is
+	// conventional but not required).
+	Workloads []string
+	// Configs lists the design points. Names must be unique: the journal
+	// and result maps key cells by (config name, workload name).
+	Configs []boom.Config
+	// Scale is the workload scale every cell is built at.
+	Scale workloads.Scale
+}
+
+// NewCampaign builds a campaign over defensive copies of its inputs.
+func NewCampaign(names []string, configs []boom.Config, scale workloads.Scale) Campaign {
+	return Campaign{
+		Workloads: append([]string(nil), names...),
+		Configs:   append([]boom.Config(nil), configs...),
+		Scale:     scale,
+	}
+}
+
+// ConfigNames returns the design-point names in campaign order.
+func (c Campaign) ConfigNames() []string {
+	out := make([]string, len(c.Configs))
+	for i := range c.Configs {
+		out[i] = c.Configs[i].Name
+	}
+	return out
+}
+
+// Cells returns the number of (workload, config) measurement cells.
+func (c Campaign) Cells() int { return len(c.Workloads) * len(c.Configs) }
+
+// Validate rejects campaigns the sweep engine cannot run unambiguously:
+// empty axes, duplicate workloads or config names (the journal keys tasks
+// by name), unregistered workloads, and structurally invalid design
+// points (boom.Config.Validate).
+func (c Campaign) Validate() error {
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("campaign: no workloads")
+	}
+	if len(c.Configs) == 0 {
+		return fmt.Errorf("campaign: no configs")
+	}
+	known := map[string]bool{}
+	for _, n := range workloads.Names() {
+		known[n] = true
+	}
+	seen := map[string]bool{}
+	for _, n := range c.Workloads {
+		if !known[n] {
+			return fmt.Errorf("campaign: unknown workload %q", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("campaign: duplicate workload %q", n)
+		}
+		seen[n] = true
+	}
+	seenCfg := map[string]bool{}
+	for i := range c.Configs {
+		cfg := &c.Configs[i]
+		if cfg.Name == "" {
+			return fmt.Errorf("campaign: config %d has no name", i)
+		}
+		if seenCfg[cfg.Name] {
+			return fmt.Errorf("campaign: duplicate config %q", cfg.Name)
+		}
+		seenCfg[cfg.Name] = true
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -142,7 +142,7 @@ func TestSimPointAccuracy(t *testing.T) {
 func TestSweepAndSpeedup(t *testing.T) {
 	names := []string{"sha", "tarfind", "qsort"}
 	sw, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).
-		Sweep(context.Background(), names, []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
+		Sweep(context.Background(), tcamp(names, []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,11 +289,11 @@ func TestPointsBracketAggregate(t *testing.T) {
 func TestParallelSweepDeterminism(t *testing.T) {
 	names := []string{"sha", "bitcount"}
 	cfgs := []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}
-	a, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, cfgs)
+	a, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), names, cfgs)
+	b, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).Sweep(context.Background(), tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestFlowErrorPaths(t *testing.T) {
 		t.Error("unknown workload must error")
 	}
 	if _, err := New(DefaultFlowConfig(), WithScale(workloads.ScaleTiny)).
-		Sweep(context.Background(), []string{"nope"}, []boom.Config{boom.MediumBOOM()}); err == nil {
+		Sweep(context.Background(), tcamp([]string{"nope"}, []boom.Config{boom.MediumBOOM()})); err == nil {
 		t.Error("sweep with unknown workload must error")
 	}
 	// Invalid simpoint config surfaces from profiling.

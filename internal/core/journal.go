@@ -104,15 +104,24 @@ func (j *journal) Close() error {
 
 // sweepID fingerprints a campaign: the exact workload list, configuration
 // list, flow parameters and scale. Reuses the artifact cache's canonical
-// encoding, so any drift in any input yields a different ID and a stale
-// journal is ignored rather than replayed.
-func (r *Runner) sweepID(names []string, configs []boom.Config) string {
+// encoding, so any drift in any input — including any single field of any
+// design point, which is how parametric axes (internal/dse) become part
+// of the identity — yields a different ID and a stale journal is ignored
+// rather than replayed.
+//
+// Compatibility: the encoded shape below (anonymous struct, these field
+// names and types, schema version 1) is pinned by the fingerprint
+// compatibility suite — a pre-Campaign-redesign journal or cache entry
+// for the named-trio campaign must keep resolving to the same ID. Do not
+// rename fields, reorder them, or name the struct (the canonical encoding
+// hashes the type name, and an anonymous struct encodes as "").
+func (r *Runner) sweepID(c Campaign) string {
 	return artifact.NewKey("sweep", 1, struct {
 		Names   []string
 		Configs []boom.Config
 		Flow    FlowConfig
 		Scale   int
-	}{names, configs, r.fc, int(r.scale)}).Hex()
+	}{c.Workloads, c.Configs, r.fc, int(c.Scale)}).Hex()
 }
 
 // loadJournal parses an existing journal and returns the set of tasks with
@@ -156,11 +165,11 @@ func loadJournal(path, wantID string) (done map[string]bool, prevFailed int) {
 // the journal is disabled (nil, empty set). With WithResume, a matching
 // prior journal yields the done-set and the file is extended in place;
 // otherwise the file is truncated and a fresh header written.
-func (r *Runner) openSweepJournal(names []string, configs []boom.Config) (*journal, map[string]bool) {
+func (r *Runner) openSweepJournal(camp Campaign) (*journal, map[string]bool) {
 	if r.cache == nil {
 		return nil, nil
 	}
-	id := r.sweepID(names, configs)
+	id := r.sweepID(camp)
 	path := filepath.Join(r.cache.Dir(), journalName)
 	var done map[string]bool
 	if r.resume {
@@ -192,13 +201,13 @@ func (r *Runner) openSweepJournal(names []string, configs []boom.Config) (*journ
 	return jn, done
 }
 
-// CampaignID returns the campaign fingerprint for a (workloads, configs)
-// sweep under this Runner's flow parameters and scale — the exact identity
-// the sweep journal is keyed by. The serving layer (internal/serve) reuses
-// it as the job and dedupe ID: duplicate submissions of one campaign
-// collapse onto one job, and the artifact cache dedupes across requests.
-func (r *Runner) CampaignID(names []string, configs []boom.Config) string {
-	return r.sweepID(names, configs)
+// CampaignID returns the campaign fingerprint under this Runner's flow
+// parameters — the exact identity the sweep journal is keyed by. The
+// serving layer (internal/serve) reuses it as the job and dedupe ID:
+// duplicate submissions of one campaign collapse onto one job, and the
+// artifact cache dedupes across requests.
+func (r *Runner) CampaignID(camp Campaign) string {
+	return r.sweepID(camp)
 }
 
 // JournalPath returns the sweep journal location for a cache directory

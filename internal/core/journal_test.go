@@ -16,7 +16,7 @@ func TestLoadJournalTornLines(t *testing.T) {
 	r := New(DefaultFlowConfig())
 	names := []string{"sha", "bitcount"}
 	cfgs := []boom.Config{boom.MediumBOOM()}
-	id := r.sweepID(names, cfgs)
+	id := r.sweepID(tcamp(names, cfgs))
 
 	path := filepath.Join(t.TempDir(), journalName)
 	body := `{"ev":"sweep","id":"` + id + `"}
@@ -71,20 +71,20 @@ func TestLoadJournalForeignCampaign(t *testing.T) {
 func TestSweepIDSensitivity(t *testing.T) {
 	names := []string{"sha", "bitcount"}
 	cfgs := []boom.Config{boom.MediumBOOM()}
-	base := New(DefaultFlowConfig()).sweepID(names, cfgs)
+	base := New(DefaultFlowConfig()).sweepID(tcamp(names, cfgs))
 
-	if got := New(DefaultFlowConfig()).sweepID(names, cfgs); got != base {
+	if got := New(DefaultFlowConfig()).sweepID(tcamp(names, cfgs)); got != base {
 		t.Error("identical campaign must fingerprint identically")
 	}
-	if got := New(DefaultFlowConfig()).sweepID([]string{"sha"}, cfgs); got == base {
+	if got := New(DefaultFlowConfig()).sweepID(tcamp([]string{"sha"}, cfgs)); got == base {
 		t.Error("workload-set drift not detected")
 	}
-	if got := New(DefaultFlowConfig()).sweepID(names, []boom.Config{boom.MegaBOOM()}); got == base {
+	if got := New(DefaultFlowConfig()).sweepID(tcamp(names, []boom.Config{boom.MegaBOOM()})); got == base {
 		t.Error("config-set drift not detected")
 	}
 	fc := DefaultFlowConfig()
 	fc.WarmupInsts++
-	if got := New(fc).sweepID(names, cfgs); got == base {
+	if got := New(fc).sweepID(tcamp(names, cfgs)); got == base {
 		t.Error("flow-parameter drift not detected")
 	}
 }
@@ -96,10 +96,10 @@ func TestJournalWrittenDuringSweep(t *testing.T) {
 	r := New(DefaultFlowConfig(), WithCache(dir))
 	names := []string{"sha"}
 	cfgs := []boom.Config{boom.MediumBOOM()}
-	if _, err := r.Sweep(context.Background(), names, cfgs); err != nil {
+	if _, err := r.Sweep(context.Background(), tcamp(names, cfgs)); err != nil {
 		t.Fatal(err)
 	}
-	done, failed := loadJournal(JournalPath(dir), r.sweepID(names, cfgs))
+	done, failed := loadJournal(JournalPath(dir), r.sweepID(tcamp(names, cfgs)))
 	if failed != 0 {
 		t.Errorf("clean sweep journaled %d failures", failed)
 	}
@@ -173,12 +173,12 @@ func TestJournalHeaderDurable(t *testing.T) {
 	r := New(DefaultFlowConfig(), WithCache(dir))
 	names := []string{"sha"}
 	cfgs := []boom.Config{boom.MediumBOOM()}
-	jn, _ := r.openSweepJournal(names, cfgs)
+	jn, _ := r.openSweepJournal(tcamp(names, cfgs))
 	if jn == nil {
 		t.Fatal("journal not opened")
 	}
 	defer jn.Close()
-	done, _ := loadJournal(JournalPath(dir), r.sweepID(names, cfgs))
+	done, _ := loadJournal(JournalPath(dir), r.sweepID(tcamp(names, cfgs)))
 	if done == nil {
 		t.Fatal("header not readable from disk right after open")
 	}

@@ -499,6 +499,8 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 	aggSlots := make([]float64, cfg.IntIssueSlots)
 	var points []PointResult
 	var detailed uint64
+	var scratchRep power.Report
+	var scratchSlots []float64
 
 	prog, err := p.Workload.Program()
 	if err != nil {
@@ -546,17 +548,20 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 
 		w := p.Selection.Selected[i].Weight
 		endStage = r.stage(StageEstimate)
-		if rep, perr := est.Estimate(st); perr == nil {
+		// Per-point estimates are consumed immediately (a total and a
+		// weighted accumulation), so one scratch Report and slot vector
+		// serve every checkpoint — the zero-alloc accumulation path.
+		if perr := est.EstimateInto(&scratchRep, st); perr == nil {
 			points = append(points, PointResult{
 				Interval: p.Checkpoints[i].Interval,
 				Weight:   w,
 				IPC:      st.IPC(),
-				PowerMW:  rep.TotalMW(),
+				PowerMW:  scratchRep.TotalMW(),
 			})
 		}
-		slots := est.SlotPower(st)
+		scratchSlots = est.SlotPowerInto(scratchSlots, st)
 		for s := range aggSlots {
-			aggSlots[s] += w * slots[s]
+			aggSlots[s] += w * scratchSlots[s]
 		}
 		st.ScaleWeighted(w)
 		agg.Add(st)
@@ -677,8 +682,12 @@ func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boo
 	return nil
 }
 
-// Sweep profiles every named workload once (at the Runner's scale) and
-// evaluates it on every config with the SimPoint flow. Work is spread
+// Sweep profiles every campaign workload once (at the campaign's scale)
+// and evaluates it on every design point with the SimPoint flow: N
+// configs share one profile/select/checkpoint per workload, both within
+// the sweep (phase 1 runs once per workload) and across sweeps (the
+// profile stages are config-independent, so their cache artifacts feed
+// every design point that ever measures the workload). Work is spread
 // across the Runner's parallelism — every (workload, config) measurement
 // is independent and deterministic, so results are bit-identical to a
 // serial run regardless of worker count, metrics attachment, cache state,
@@ -690,7 +699,8 @@ func (r *Runner) measureFull(ctx context.Context, w *workloads.Workload, cfg boo
 // *SweepErrors, and Sweep returns the partial *Sweep TOGETHER WITH the
 // error — callers render what succeeded and report what did not. Missing
 // entries in Results mark the failed pairs.
-func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Config) (*Sweep, error) {
+func (r *Runner) Sweep(ctx context.Context, camp Campaign) (*Sweep, error) {
+	names, configs := camp.Workloads, camp.Configs
 	var noteMu sync.Mutex
 	note := func(format string, args ...interface{}) {
 		noteMu.Lock()
@@ -699,7 +709,7 @@ func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Confi
 	}
 	sw := &Sweep{
 		Flow:     r.fc,
-		Scale:    r.scale,
+		Scale:    camp.Scale,
 		Names:    append([]string(nil), names...),
 		Profiles: map[string]*Profile{},
 		Results:  map[string]map[string]*Result{},
@@ -708,7 +718,7 @@ func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Confi
 		sw.ConfigNames = append(sw.ConfigNames, cfg.Name)
 		sw.Results[cfg.Name] = map[string]*Result{}
 	}
-	jn, doneSet := r.openSweepJournal(names, configs)
+	jn, doneSet := r.openSweepJournal(camp)
 	defer jn.Close()
 	var mu sync.Mutex
 
@@ -719,11 +729,11 @@ func (r *Runner) Sweep(ctx context.Context, names []string, configs []boom.Confi
 		id:    func(i int) taskID { return taskID{kind: "profile", workload: names[i]} },
 		do: func(ctx context.Context, i int) error {
 			name := names[i]
-			w, err := workloads.Build(name, r.scale)
+			w, err := workloads.Build(name, camp.Scale)
 			if err != nil {
 				return wrapStage(StageProfile, name, "", err)
 			}
-			note("profiling %-14s (%s scale)", name, r.scale)
+			note("profiling %-14s (%s scale)", name, camp.Scale)
 			p, err := r.Profile(ctx, w)
 			if err != nil {
 				return err

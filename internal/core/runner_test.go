@@ -124,7 +124,7 @@ func TestRunnerCancellation(t *testing.T) {
 	if _, err := r.RunFull(ctx, w, boom.MediumBOOM()); err == nil {
 		t.Fatal("RunFull must fail on a canceled context")
 	}
-	if _, err := r.Sweep(ctx, []string{"sha"}, []boom.Config{boom.MediumBOOM()}); err == nil {
+	if _, err := r.Sweep(ctx, tcamp([]string{"sha"}, []boom.Config{boom.MediumBOOM()})); err == nil {
 		t.Fatal("Sweep must fail on a canceled context")
 	}
 }
@@ -169,13 +169,13 @@ func TestSweepParallelismBitIdentical(t *testing.T) {
 
 	serialReg := metrics.NewRegistry()
 	serial, err := New(DefaultFlowConfig(), WithParallelism(1), WithMetrics(serialReg)).
-		Sweep(ctx, names, cfgs)
+		Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	parReg := metrics.NewRegistry()
 	par, err := New(DefaultFlowConfig(), WithParallelism(runtime.NumCPU()), WithMetrics(parReg)).
-		Sweep(ctx, names, cfgs)
+		Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestSweepParallelismBitIdentical(t *testing.T) {
 // wall-clock alongside the instruction-count ratio.
 func TestSpeedupWallClock(t *testing.T) {
 	sw, err := New(DefaultFlowConfig()).
-		Sweep(context.Background(), []string{"sha"}, []boom.Config{boom.MediumBOOM()})
+		Sweep(context.Background(), tcamp([]string{"sha"}, []boom.Config{boom.MediumBOOM()}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestUtilizationFinite(t *testing.T) {
 func TestZeroDurationSweepMetricsJSON(t *testing.T) {
 	reg := metrics.NewRegistry()
 	r := New(DefaultFlowConfig(), WithMetrics(reg))
-	if _, err := r.Sweep(context.Background(), nil, nil); err != nil {
+	if _, err := r.Sweep(context.Background(), tcamp(nil, nil)); err != nil {
 		t.Fatal(err)
 	}
 	// Force the exact degenerate division a zero-duration phase produces.

@@ -42,7 +42,7 @@ func TestSweepPanicIsolation(t *testing.T) {
 	cfgs := []boom.Config{boom.MediumBOOM()}
 	ctx := context.Background()
 
-	ref, err := New(DefaultFlowConfig()).Sweep(ctx, names, cfgs)
+	ref, err := New(DefaultFlowConfig()).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestSweepPanicIsolation(t *testing.T) {
 		WithKeepGoing(true),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, "1:core.measure/sha/MediumBOOM=panic")),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err == nil {
 		t.Fatal("sweep with an injected panic must report an error")
 	}
@@ -101,7 +101,7 @@ func TestSweepRetryTransient(t *testing.T) {
 	cfgs := []boom.Config{boom.MediumBOOM()}
 	ctx := context.Background()
 
-	ref, err := New(DefaultFlowConfig()).Sweep(ctx, names, cfgs)
+	ref, err := New(DefaultFlowConfig()).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestSweepRetryTransient(t *testing.T) {
 		WithRetry(2, time.Millisecond),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, "1:core.measure/sha/MediumBOOM=error")),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatalf("transient fault with retries must succeed: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestSweepRetryTransient(t *testing.T) {
 	// Without retries the same transient fault must fail the task.
 	if _, err := New(DefaultFlowConfig(),
 		WithFaultInjector(mustInj(t, "1:core.measure/sha/MediumBOOM=error")),
-	).Sweep(ctx, names, cfgs); err == nil {
+	).Sweep(ctx, tcamp(names, cfgs)); err == nil {
 		t.Error("transient fault without a retry budget must fail the sweep")
 	} else if !IsTransient(err) {
 		t.Errorf("surfaced error must keep its transient marker: %v", err)
@@ -144,7 +144,7 @@ func TestSweepPermanentNotRetried(t *testing.T) {
 		WithRetry(3, time.Millisecond),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, "1:core.measure/sha/MediumBOOM=error-perm")),
-	).Sweep(context.Background(), []string{"sha"}, []boom.Config{boom.MediumBOOM()})
+	).Sweep(context.Background(), tcamp([]string{"sha"}, []boom.Config{boom.MediumBOOM()}))
 	if err == nil {
 		t.Fatal("permanent fault must fail the sweep")
 	}
@@ -165,7 +165,7 @@ func TestSweepDrainAccounting(t *testing.T) {
 		WithParallelism(1),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, "1:core.profile/sha=error-perm")),
-	).Sweep(context.Background(), []string{"sha", "bitcount"}, []boom.Config{boom.MediumBOOM()})
+	).Sweep(context.Background(), tcamp([]string{"sha", "bitcount"}, []boom.Config{boom.MediumBOOM()}))
 	if err == nil {
 		t.Fatal("sweep must fail fast on a permanent profile fault")
 	}
@@ -198,7 +198,7 @@ func TestSweepCancellationStageError(t *testing.T) {
 				cancel()
 			}
 		}),
-	).Sweep(ctx, []string{"sha", "bitcount", "qsort"}, []boom.Config{boom.MediumBOOM()})
+	).Sweep(ctx, tcamp([]string{"sha", "bitcount", "qsort"}, []boom.Config{boom.MediumBOOM()}))
 	if err == nil {
 		t.Fatal("cancelled sweep must report an error")
 	}
@@ -232,7 +232,7 @@ func TestChaosCorruptArtifact(t *testing.T) {
 	cfgs := []boom.Config{boom.MediumBOOM()}
 	ctx := context.Background()
 
-	cold, err := New(DefaultFlowConfig(), WithCache(dir)).Sweep(ctx, names, cfgs)
+	cold, err := New(DefaultFlowConfig(), WithCache(dir)).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestChaosCorruptArtifact(t *testing.T) {
 		WithCache(dir),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, "5:artifact.read/measure=corrupt:4")),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatalf("corrupted artifact must heal, not fail: %v", err)
 	}
@@ -270,7 +270,7 @@ func TestSweepResumeJournal(t *testing.T) {
 	cfgs := []boom.Config{boom.MediumBOOM(), boom.MegaBOOM()}
 	ctx := context.Background()
 
-	ref, err := New(DefaultFlowConfig()).Sweep(ctx, names, cfgs)
+	ref, err := New(DefaultFlowConfig()).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestSweepResumeJournal(t *testing.T) {
 		WithCache(dir),
 		WithKeepGoing(true),
 		WithFaultInjector(mustInj(t, "9:core.measure/bitcount/MegaBOOM=error-perm")),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err == nil {
 		t.Fatal("run 1 must report the injected failure")
 	}
@@ -295,7 +295,7 @@ func TestSweepResumeJournal(t *testing.T) {
 		WithCache(dir),
 		WithResume(true),
 		WithMetrics(reg),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatalf("resume run must complete cleanly: %v", err)
 	}
@@ -323,7 +323,7 @@ func TestSweepResumeJournal(t *testing.T) {
 		WithCache(dir),
 		WithResume(true),
 		WithMetrics(reg3),
-	).Sweep(ctx, []string{"sha"}, cfgs); err != nil {
+	).Sweep(ctx, tcamp([]string{"sha"}, cfgs)); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg3.Counter("core.sweep.tasks_resumed").Value(); got != 0 {
@@ -338,7 +338,7 @@ func TestStageTimeoutTransient(t *testing.T) {
 	_, err := New(DefaultFlowConfig(),
 		WithStageTimeout(time.Nanosecond),
 		WithMetrics(reg),
-	).Sweep(context.Background(), []string{"sha"}, []boom.Config{boom.MediumBOOM()})
+	).Sweep(context.Background(), tcamp([]string{"sha"}, []boom.Config{boom.MediumBOOM()}))
 	if err == nil {
 		t.Fatal("a 1 ns stage watchdog must trip")
 	}
@@ -368,7 +368,7 @@ func TestChaosSweepAcceptance(t *testing.T) {
 	ctx := context.Background()
 
 	// Fault-free reference, populating the cache.
-	ref, err := New(DefaultFlowConfig(), WithCache(dir)).Sweep(ctx, names, cfgs)
+	ref, err := New(DefaultFlowConfig(), WithCache(dir)).Sweep(ctx, tcamp(names, cfgs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestChaosSweepAcceptance(t *testing.T) {
 		WithRetry(2, time.Millisecond),
 		WithMetrics(reg),
 		WithFaultInjector(mustInj(t, spec)),
-	).Sweep(ctx, names, cfgs)
+	).Sweep(ctx, tcamp(names, cfgs))
 	if err == nil {
 		t.Fatal("chaos sweep must report its injected failure")
 	}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"repro/internal/boom"
+	"repro/internal/workloads"
+)
+
+// tcamp builds a tiny-scale Campaign — the shape nearly every core test
+// sweeps. Kept here so call sites stay as close to the old
+// (names, configs) form as possible.
+func tcamp(names []string, cfgs []boom.Config) Campaign {
+	return NewCampaign(names, cfgs, workloads.ScaleTiny)
+}

@@ -1,0 +1,258 @@
+package dse
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/boom"
+)
+
+// The parameter registry must stay sorted by name: paramByName binary
+// searches it, and expansion's canonical ordering leans on it.
+func TestParamRegistrySorted(t *testing.T) {
+	if !sort.SliceIsSorted(params, func(i, j int) bool { return params[i].name < params[j].name }) {
+		t.Fatal("params registry is not sorted by name; paramByName's binary search will miss entries")
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.name] {
+			t.Fatalf("duplicate parameter %q in registry", p.name)
+		}
+		seen[p.name] = true
+		if p.doc == "" || p.apply == nil {
+			t.Fatalf("parameter %q missing doc or apply", p.name)
+		}
+	}
+}
+
+// Every registered parameter must be applicable to the default base with a
+// value that keeps the config valid — the CLI help surface promises as
+// much.
+func TestEveryParamApplies(t *testing.T) {
+	vals := map[string]string{"predictor": "gshare"}
+	for _, p := range params {
+		v, ok := vals[p.name]
+		if !ok {
+			v = "64" // a positive integer accepted by every int param
+		}
+		cfg, err := boom.ConfigByName("MediumBOOM")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.apply(&cfg, v); err != nil {
+			t.Errorf("param %s: apply(%q): %v", p.name, v, err)
+		}
+	}
+}
+
+func TestExpandGolden(t *testing.T) {
+	// Axes given in unsorted order with uncanonical values: expansion must
+	// normalize both.
+	cfgs, err := Expand(Spec{
+		Base: "medium",
+		Axes: []Axis{
+			{Param: "rob", Values: []string{"096", "64"}},
+			{Param: "predictor", Values: []string{"GShare", "tage"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"MediumBOOM+predictor=gshare+rob=96",
+		"MediumBOOM+predictor=gshare+rob=64",
+		"MediumBOOM+predictor=tage+rob=96",
+		"MediumBOOM+predictor=tage+rob=64",
+	}
+	var got []string
+	for _, c := range cfgs {
+		got = append(got, c.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expanded names:\n got %q\nwant %q", got, want)
+	}
+
+	// Field spot-checks: the axes really landed on the fields.
+	if cfgs[0].Predictor != boom.PredictorGShare || cfgs[0].RobEntries != 96 {
+		t.Errorf("point 0: predictor=%v rob=%d, want gshare/96", cfgs[0].Predictor, cfgs[0].RobEntries)
+	}
+	if cfgs[3].Predictor != boom.PredictorTAGE || cfgs[3].RobEntries != 64 {
+		t.Errorf("point 3: predictor=%v rob=%d, want tage/64", cfgs[3].Predictor, cfgs[3].RobEntries)
+	}
+	// Untouched fields ride along from the base.
+	base := boom.MediumBOOM()
+	if cfgs[0].DCacheKiB != base.DCacheKiB || cfgs[0].IntIssueWidth != base.IntIssueWidth {
+		t.Error("unswept fields drifted from the base config")
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	spec := Spec{
+		Overrides: []Setting{{"l2-kib", "1024"}},
+		Axes: []Axis{
+			{Param: "int-iq", Values: []string{"16", "24"}},
+			{Param: "rob", Values: []string{"64", "96", "128"}},
+		},
+	}
+	a, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec expanded to different configs")
+	}
+	if len(a) != 6 {
+		t.Fatalf("got %d points, want 6", len(a))
+	}
+	for _, c := range a {
+		if c.L2KiB != 1024 {
+			t.Fatalf("%s: override l2-kib=1024 not applied (got %d)", c.Name, c.L2KiB)
+		}
+		if !strings.Contains(c.Name, "+l2-kib=1024+") {
+			t.Fatalf("%s: override missing from canonical name", c.Name)
+		}
+	}
+}
+
+func TestExpandDefaultBase(t *testing.T) {
+	cfgs, err := Expand(Spec{Axes: []Axis{{Param: "rob", Values: []string{"64"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || !strings.HasPrefix(cfgs[0].Name, "MediumBOOM+") {
+		t.Fatalf("empty base must resolve to MediumBOOM, got %q", cfgs[0].Name)
+	}
+}
+
+// Widening integer issue must drag the register-file ports up to the
+// structural minimum — and never shrink them when narrowing.
+func TestIssueWidthRaisesPorts(t *testing.T) {
+	wide, err := Expand(Spec{Axes: []Axis{{Param: "int-issue-width", Values: []string{"4"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wide[0].IntRFReadPorts; got != 10 { // 2*4+2
+		t.Errorf("int-issue-width=4: read ports = %d, want 10", got)
+	}
+	if got := wide[0].IntRFWritePorts; got != 5 { // 4+1
+		t.Errorf("int-issue-width=4: write ports = %d, want 5", got)
+	}
+	narrow, err := Expand(Spec{Axes: []Axis{{Param: "int-issue-width", Values: []string{"1"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := boom.MediumBOOM()
+	if narrow[0].IntRFReadPorts != base.IntRFReadPorts || narrow[0].IntRFWritePorts != base.IntRFWritePorts {
+		t.Error("narrowing issue width must not shrink register-file ports")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"unknown base", Spec{Base: "TinyBOOM"}, "TinyBOOM"},
+		{"unknown param", Spec{Axes: []Axis{{Param: "l3-kib", Values: []string{"1"}}}}, "unknown parameter"},
+		{"empty axis", Spec{Axes: []Axis{{Param: "rob"}}}, "no values"},
+		{"duplicate axis", Spec{Axes: []Axis{
+			{Param: "rob", Values: []string{"64"}},
+			{Param: "rob", Values: []string{"96"}},
+		}}, "listed twice"},
+		{"cross-listed", Spec{
+			Overrides: []Setting{{"rob", "64"}},
+			Axes:      []Axis{{Param: "rob", Values: []string{"96"}}},
+		}, "listed twice"},
+		{"duplicate value after canon", Spec{Axes: []Axis{
+			{Param: "rob", Values: []string{"64", "064"}},
+		}}, "repeats value"},
+		{"non-integer", Spec{Axes: []Axis{{Param: "rob", Values: []string{"big"}}}}, "positive integer"},
+		{"bad predictor", Spec{Axes: []Axis{{Param: "predictor", Values: []string{"perceptron"}}}}, "tage or gshare"},
+		{"invalid corner named", Spec{Axes: []Axis{
+			{Param: "rob", Values: []string{"2"}}, // < 2*DecodeWidth
+		}}, "MediumBOOM+rob=2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Expand(tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Expand = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpandPointCap(t *testing.T) {
+	// 70 × 70 = 4900 > MaxPoints: must refuse before materializing.
+	big := make([]string, 70)
+	for i := range big {
+		big[i] = fmt.Sprint(64 + i)
+	}
+	_, err := Expand(Spec{Axes: []Axis{
+		{Param: "rob", Values: big},
+		{Param: "int-iq", Values: big},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "4096") {
+		t.Fatalf("oversized cross product: err = %v, want MaxPoints rejection", err)
+	}
+	// Exactly at the cap is fine (64 × 64 = 4096).
+	at := big[:64]
+	cfgs, err := Expand(Spec{Axes: []Axis{
+		{Param: "rob", Values: at},
+		{Param: "int-iq", Values: at},
+	}})
+	if err != nil || len(cfgs) != 4096 {
+		t.Fatalf("at-cap expansion: %d points, err %v", len(cfgs), err)
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	axes, err := ParseAxes("rob=64, 96 ;predictor=tage,gshare;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Axis{
+		{Param: "rob", Values: []string{"64", "96"}},
+		{Param: "predictor", Values: []string{"tage", "gshare"}},
+	}
+	if !reflect.DeepEqual(axes, want) {
+		t.Fatalf("ParseAxes = %+v, want %+v", axes, want)
+	}
+	for _, bad := range []string{"rob", "=64", "rob="} {
+		if _, err := ParseAxes(bad); err == nil {
+			t.Errorf("ParseAxes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	ovs, err := ParseOverrides("l2-kib=1024;predictor=gshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Setting{{"l2-kib", "1024"}, {"predictor", "gshare"}}
+	if !reflect.DeepEqual(ovs, want) {
+		t.Fatalf("ParseOverrides = %+v, want %+v", ovs, want)
+	}
+	if _, err := ParseOverrides("rob=64,96"); err == nil {
+		t.Error("multi-valued override accepted")
+	}
+}
+
+func TestParamsHelpSurface(t *testing.T) {
+	lines := Params()
+	if len(lines) != len(params) {
+		t.Fatalf("Params() returned %d lines for %d params", len(lines), len(params))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "rob") {
+		t.Error("help surface missing rob")
+	}
+}

@@ -1,0 +1,164 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file reduces a finished campaign to the paper's real question:
+// which design point is efficiency-optimal per workload? Each (workload,
+// config) cell contributes a point in the IPC × perf-per-watt plane; the
+// Pareto frontier keeps the points no other design dominates, and the
+// recommendation is the frontier point with the highest perf-per-watt.
+// Everything here is deterministic and wall-clock-free — same cells in,
+// same bytes out — matching the serving layer's EncodeSweep contract.
+
+// Cell is one measured (workload, design point) result.
+type Cell struct {
+	Workload    string
+	Config      string
+	IPC         float64
+	PowerMW     float64
+	PerfPerWatt float64
+}
+
+// Point is one design point's position in the IPC × perf-per-watt plane.
+type Point struct {
+	Config      string  `json:"config"`
+	IPC         float64 `json:"ipc"`
+	PowerMW     float64 `json:"power_mw"`
+	PerfPerWatt float64 `json:"perf_per_watt"`
+}
+
+// dominates reports whether a beats b: at least as good on both axes and
+// strictly better on one.
+func dominates(a, b Point) bool {
+	return a.IPC >= b.IPC && a.PerfPerWatt >= b.PerfPerWatt &&
+		(a.IPC > b.IPC || a.PerfPerWatt > b.PerfPerWatt)
+}
+
+// WorkloadFrontier is one workload's Pareto view of the campaign.
+type WorkloadFrontier struct {
+	Workload string `json:"workload"`
+	// Best is the efficiency-optimal design point: the frontier point
+	// with the highest perf-per-watt (ties break toward higher IPC, then
+	// lexicographically smaller config name).
+	Best Point `json:"best"`
+	// Points is the Pareto-optimal set, ascending IPC (name-ordered on
+	// exact ties). Dominated design points are dropped.
+	Points []Point `json:"points"`
+}
+
+// Frontiers groups cells by workload (preserving first-seen workload
+// order, which for EncodeSweep rows is the campaign's workload order) and
+// computes each workload's Pareto frontier. Non-finite metrics are
+// clamped to 0 first, so a degenerate cell can never poison a comparison.
+func Frontiers(cells []Cell) []WorkloadFrontier {
+	order := []string{}
+	byWL := map[string][]Point{}
+	for _, c := range cells {
+		if _, ok := byWL[c.Workload]; !ok {
+			order = append(order, c.Workload)
+		}
+		byWL[c.Workload] = append(byWL[c.Workload], Point{
+			Config:      c.Config,
+			IPC:         finite(c.IPC),
+			PowerMW:     finite(c.PowerMW),
+			PerfPerWatt: finite(c.PerfPerWatt),
+		})
+	}
+	out := make([]WorkloadFrontier, 0, len(order))
+	for _, wl := range order {
+		pts := byWL[wl]
+		var frontier []Point
+		for i, p := range pts {
+			dominated := false
+			for j, q := range pts {
+				if i != j && (dominates(q, p) ||
+					// Exact duplicates on both axes: keep the smaller name.
+					(q.IPC == p.IPC && q.PerfPerWatt == p.PerfPerWatt &&
+						q.Config < p.Config)) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				frontier = append(frontier, p)
+			}
+		}
+		sort.Slice(frontier, func(i, j int) bool {
+			if frontier[i].IPC != frontier[j].IPC {
+				return frontier[i].IPC < frontier[j].IPC
+			}
+			return frontier[i].Config < frontier[j].Config
+		})
+		best := frontier[0]
+		for _, p := range frontier[1:] {
+			switch {
+			case p.PerfPerWatt > best.PerfPerWatt:
+				best = p
+			case p.PerfPerWatt == best.PerfPerWatt && p.IPC > best.IPC:
+				best = p
+			case p.PerfPerWatt == best.PerfPerWatt && p.IPC == best.IPC &&
+				p.Config < best.Config:
+				best = p
+			}
+		}
+		out = append(out, WorkloadFrontier{Workload: wl, Best: best, Points: frontier})
+	}
+	return out
+}
+
+// Report is the canonical frontier artifact of one campaign.
+type Report struct {
+	// Campaign is the campaign fingerprint the frontier was computed
+	// from (the boomd job ID), empty for local runs without a cache.
+	Campaign string `json:"campaign,omitempty"`
+	// DesignPoints is the campaign's expanded design-point count.
+	DesignPoints int                `json:"design_points"`
+	Workloads    []WorkloadFrontier `json:"workloads"`
+}
+
+// EncodeReport renders a frontier report as canonical JSON bytes:
+// struct-field key order, one trailing newline, no wall-clock content —
+// byte-identical across cold, warm-cached and HTTP-served runs of the
+// same campaign.
+func EncodeReport(rep *Report) ([]byte, error) {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatReport renders the frontier as a human-readable text table: one
+// block per workload, frontier points ascending IPC with the
+// recommendation marked. Deterministic like the JSON form.
+func FormatReport(rep *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design points: %d\n", rep.DesignPoints)
+	for _, wf := range rep.Workloads {
+		fmt.Fprintf(&sb, "\n%s — efficiency-optimal: %s (IPC %.3f, %.1f IPC/W)\n",
+			wf.Workload, wf.Best.Config, wf.Best.IPC, wf.Best.PerfPerWatt)
+		fmt.Fprintf(&sb, "  %-52s %8s %10s %10s\n", "pareto frontier", "IPC", "mW", "IPC/W")
+		for _, p := range wf.Points {
+			mark := " "
+			if p.Config == wf.Best.Config {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "  %s %-50s %8.3f %10.2f %10.1f\n",
+				mark, p.Config, p.IPC, p.PowerMW, p.PerfPerWatt)
+		}
+	}
+	return sb.String()
+}
+
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

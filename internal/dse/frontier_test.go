@@ -1,0 +1,139 @@
+package dse
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func cell(wl, cfg string, ipc, mw, ppw float64) Cell {
+	return Cell{Workload: wl, Config: cfg, IPC: ipc, PowerMW: mw, PerfPerWatt: ppw}
+}
+
+func configs(pts []Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Config
+	}
+	return out
+}
+
+func TestFrontierDominance(t *testing.T) {
+	// c dominates d outright; a and b trade IPC against efficiency.
+	fs := Frontiers([]Cell{
+		cell("sha", "a", 1.0, 100, 10),
+		cell("sha", "b", 2.0, 400, 5),
+		cell("sha", "c", 1.5, 200, 7.5),
+		cell("sha", "d", 1.4, 250, 5.6), // dominated by c on both axes
+	})
+	if len(fs) != 1 || fs[0].Workload != "sha" {
+		t.Fatalf("got %d frontiers", len(fs))
+	}
+	if got, want := configs(fs[0].Points), []string{"a", "c", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("frontier = %v, want %v (ascending IPC, d dominated)", got, want)
+	}
+	if fs[0].Best.Config != "a" {
+		t.Fatalf("best = %s, want a (highest perf-per-watt)", fs[0].Best.Config)
+	}
+}
+
+func TestFrontierTies(t *testing.T) {
+	// Exact duplicates on both axes keep only the smaller config name.
+	fs := Frontiers([]Cell{
+		cell("sha", "zeta", 1.0, 100, 10),
+		cell("sha", "alpha", 1.0, 100, 10),
+	})
+	if got := configs(fs[0].Points); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Fatalf("duplicate points: frontier = %v, want [alpha]", got)
+	}
+	// Best tie on perf-per-watt breaks toward higher IPC.
+	fs = Frontiers([]Cell{
+		cell("sha", "slow", 1.0, 100, 10),
+		cell("sha", "fast", 2.0, 200, 10),
+	})
+	if fs[0].Best.Config != "fast" {
+		t.Fatalf("best = %s, want fast (equal IPC/W, higher IPC)", fs[0].Best.Config)
+	}
+}
+
+func TestFrontierWorkloadOrderAndGrouping(t *testing.T) {
+	fs := Frontiers([]Cell{
+		cell("qsort", "a", 1, 100, 10),
+		cell("sha", "a", 1, 100, 10),
+		cell("qsort", "b", 2, 100, 20),
+	})
+	if len(fs) != 2 || fs[0].Workload != "qsort" || fs[1].Workload != "sha" {
+		t.Fatalf("workload order not first-seen: %+v", fs)
+	}
+	if fs[0].Best.Config != "b" {
+		t.Fatalf("qsort best = %s, want b", fs[0].Best.Config)
+	}
+}
+
+func TestFrontierNonFiniteClamped(t *testing.T) {
+	fs := Frontiers([]Cell{
+		cell("sha", "nan", math.NaN(), math.Inf(1), math.NaN()),
+		cell("sha", "ok", 1, 100, 10),
+	})
+	for _, p := range fs[0].Points {
+		if math.IsNaN(p.IPC) || math.IsInf(p.PowerMW, 0) || math.IsNaN(p.PerfPerWatt) {
+			t.Fatalf("non-finite metric leaked into frontier: %+v", p)
+		}
+	}
+	if fs[0].Best.Config != "ok" {
+		t.Fatalf("best = %s, want ok", fs[0].Best.Config)
+	}
+}
+
+func TestEncodeReportCanonical(t *testing.T) {
+	rep := &Report{
+		Campaign:     "abc123",
+		DesignPoints: 4,
+		Workloads: Frontiers([]Cell{
+			cell("sha", "a", 1.25, 100, 12.5),
+			cell("sha", "b", 2.5, 500, 5),
+		}),
+	}
+	a, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("EncodeReport not deterministic")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("EncodeReport must end with one newline")
+	}
+	const want = `{"campaign":"abc123","design_points":4,"workloads":[{"workload":"sha","best":{"config":"a","ipc":1.25,"power_mw":100,"perf_per_watt":12.5},"points":[{"config":"a","ipc":1.25,"power_mw":100,"perf_per_watt":12.5},{"config":"b","ipc":2.5,"power_mw":500,"perf_per_watt":5}]}]}` + "\n"
+	if string(a) != want {
+		t.Fatalf("canonical bytes drifted:\n got %s\nwant %s", a, want)
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep := &Report{
+		DesignPoints: 2,
+		Workloads: Frontiers([]Cell{
+			cell("sha", "eff", 1, 50, 20),
+			cell("sha", "fast", 2, 400, 5),
+		}),
+	}
+	out := FormatReport(rep)
+	if !strings.Contains(out, "design points: 2") {
+		t.Error("missing design-point count")
+	}
+	if !strings.Contains(out, "efficiency-optimal: eff") {
+		t.Error("missing recommendation line")
+	}
+	if !strings.Contains(out, "* eff") {
+		t.Error("best point not starred in the table")
+	}
+	if FormatReport(rep) != out {
+		t.Error("FormatReport not deterministic")
+	}
+}

@@ -36,13 +36,17 @@ func kernelStats(cfg *boom.Config) *boom.Stats {
 func benchPowerAccumulate(b *testing.B, cfg boom.Config) {
 	st := kernelStats(&cfg)
 	est := NewEstimator(cfg, asap7.Default())
+	// The reuse path the sweep's per-simpoint accumulation loop runs:
+	// one Report and one slot vector, overwritten every iteration.
+	var rep Report
+	var slots []float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.Estimate(st); err != nil {
+		if err := est.EstimateInto(&rep, st); err != nil {
 			b.Fatal(err)
 		}
-		if slots := est.SlotPower(st); len(slots) == 0 {
+		if slots = est.SlotPowerInto(slots, st); len(slots) == 0 {
 			b.Fatal("no slot power")
 		}
 	}

@@ -290,18 +290,32 @@ func (e *Estimator) Config() boom.Config { return e.cfg }
 func (e *Estimator) Library() asap7.Library { return e.lib }
 
 // Estimate converts a run's activity into per-component power. stats.Cycles
-// must be non-zero.
+// must be non-zero. Allocates the Report; the accumulation hot path
+// (per-simpoint estimation inside a sweep) uses EstimateInto with a
+// reused Report instead.
 func (e *Estimator) Estimate(stats *boom.Stats) (*Report, error) {
+	rep := &Report{}
+	if err := e.EstimateInto(rep, stats); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// EstimateInto is Estimate writing into a caller-owned Report — the
+// allocation-free form. Every component is overwritten, so a reused
+// Report never leaks a previous run's values. The numeric path is
+// identical to Estimate's: reuse changes where the result lives, never
+// what it is.
+func (e *Estimator) EstimateInto(rep *Report, stats *boom.Stats) error {
 	if e.metrics != nil {
 		e.metrics.Counter("power.estimates").Inc()
 		defer e.metrics.Time("power.estimate_ns")()
 	}
 	if stats.Cycles == 0 {
-		return nil, fmt.Errorf("power: zero-cycle stats")
+		return fmt.Errorf("power: zero-cycle stats")
 	}
 	cyc := float64(stats.Cycles)
 	toMW := e.lib.MWPerPJPerCycle()
-	rep := &Report{}
 	for comp := boom.Component(0); comp < boom.NumComponents; comp++ {
 		inv := &e.inv[comp]
 		a := &stats.Comp[comp]
@@ -321,7 +335,7 @@ func (e *Estimator) Estimate(stats *boom.Stats) (*Report, error) {
 		}
 		rep.Comp[comp] = b
 	}
-	return rep, nil
+	return nil
 }
 
 // execPJPerCycle charges execution-unit energy (part of Other) from the
@@ -357,6 +371,14 @@ func (e *Estimator) execPJPerCycle(stats *boom.Stats) float64 {
 // paper's Fig. 8): each slot burns leakage always, and clock, wakeup-CAM
 // and collapse energy in proportion to how often it holds a valid entry.
 func (e *Estimator) SlotPower(stats *boom.Stats) []float64 {
+	return e.SlotPowerInto(nil, stats)
+}
+
+// SlotPowerInto is SlotPower writing into dst — the allocation-free form
+// for per-simpoint accumulation. dst is grown (reallocating) only when
+// its capacity is short; the returned slice is always exactly one entry
+// per integer issue slot, computed identically to SlotPower.
+func (e *Estimator) SlotPowerInto(dst []float64, stats *boom.Stats) []float64 {
 	if stats.Cycles == 0 {
 		return nil
 	}
@@ -366,7 +388,11 @@ func (e *Estimator) SlotPower(stats *boom.Stats) []float64 {
 	slotLeak := issueEntryBits * e.lib.FlopLeakNW * 1e-6
 	broadcastRate := float64(stats.Comp[boom.CompIntIssue].CAMSearches) /
 		math.Max(1, float64(stats.Comp[boom.CompIntIssue].Occupancy))
-	out := make([]float64, len(stats.IntIssueSlotCycles))
+	n := len(stats.IntIssueSlotCycles)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	for i, busy := range stats.IntIssueSlotCycles {
 		util := float64(busy) / cyc
 		pj := util * (inv.occPJ + broadcastRate*inv.camPJ + 0.5*inv.shiftPJ)

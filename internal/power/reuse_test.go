@@ -1,0 +1,52 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/asap7"
+	"repro/internal/boom"
+)
+
+// TestIntoVariantsBitIdentical: the reuse forms must produce bit-identical
+// values to the allocating forms, even when the destination carries a
+// previous run's garbage — reuse changes where the result lives, never
+// what it is.
+func TestIntoVariantsBitIdentical(t *testing.T) {
+	for _, cfg := range boom.Configs() {
+		st := kernelStats(&cfg)
+		est := NewEstimator(cfg, asap7.Default())
+
+		want, err := est.Estimate(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Report
+		for c := range got.Comp { // poison the reused Report
+			got.Comp[c] = Breakdown{1e9, 1e9, 1e9}
+		}
+		if err := est.EstimateInto(&got, st); err != nil {
+			t.Fatal(err)
+		}
+		if got != *want {
+			t.Errorf("%s: EstimateInto diverged from Estimate", cfg.Name)
+		}
+
+		wantSlots := est.SlotPower(st)
+		dirty := make([]float64, len(wantSlots)+7) // longer + poisoned
+		for i := range dirty {
+			dirty[i] = -1e9
+		}
+		gotSlots := est.SlotPowerInto(dirty, st)
+		if len(gotSlots) != len(wantSlots) {
+			t.Fatalf("%s: SlotPowerInto length %d, want %d", cfg.Name, len(gotSlots), len(wantSlots))
+		}
+		for i := range wantSlots {
+			if gotSlots[i] != wantSlots[i] {
+				t.Errorf("%s: slot %d: %v != %v", cfg.Name, i, gotSlots[i], wantSlots[i])
+			}
+		}
+		if &gotSlots[0] != &dirty[0] {
+			t.Errorf("%s: SlotPowerInto reallocated despite sufficient capacity", cfg.Name)
+		}
+	}
+}

@@ -23,9 +23,10 @@ func testSweep(t *testing.T) *core.Sweep {
 	t.Helper()
 	sweepOnce.Do(func() {
 		sweepVal, sweepErr = core.New(core.DefaultFlowConfig(), core.WithScale(workloads.ScaleTiny)).
-			Sweep(context.Background(),
+			Sweep(context.Background(), core.NewCampaign(
 				[]string{"sha", "qsort", "dijkstra"},
-				[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()})
+				[]boom.Config{boom.MediumBOOM(), boom.MegaBOOM()},
+				workloads.ScaleTiny))
 	})
 	if sweepErr != nil {
 		t.Fatal(sweepErr)

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/dse"
+)
+
+// TestParametricCampaignDedupeAndFrontier is the parametric acceptance
+// test: a 3-workload × 32-design-point campaign through the serving layer
+// must profile/select/checkpoint each workload exactly once (the
+// content-addressed cache counters prove the dedupe), and both the result
+// bytes and the derived Pareto frontier must be bit-identical on a
+// warm-cache rerun from a fresh server.
+func TestParametricCampaignDedupeAndFrontier(t *testing.T) {
+	dir := t.TempDir()
+	// 4 ROB sizes × 4 integer IQ depths × 2 predictors = 32 design points.
+	body := `{"workloads":["sha","qsort","bitcount"],"base":"medium",
+		"axes":{"rob":[48,64,96,128],"int-iq":[16,20,24,32],"predictor":["tage","gshare"]},
+		"scale":"tiny"}`
+
+	run := func(cacheDir string) (*int64Counters, []byte) {
+		s, ts := newTestServer(t, Config{CacheDir: cacheDir})
+		resp, b := postCampaign(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, b)
+		}
+		var st Status
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1")
+		if rr.StatusCode != http.StatusOK {
+			t.Fatalf("result: %d %s", rr.StatusCode, rb)
+		}
+		reg := s.Metrics()
+		c := &int64Counters{
+			bbvMiss:     reg.Counter("artifact.bbv.miss").Value(),
+			selMiss:     reg.Counter("artifact.select.miss").Value(),
+			ckptMiss:    reg.Counter("artifact.checkpoint.miss").Value(),
+			measureMiss: reg.Counter("artifact.measure.miss").Value(),
+			measureHit:  reg.Counter("artifact.measure.hit").Value(),
+		}
+		return c, rb
+	}
+
+	cold, coldBytes := run(dir)
+	// One profile chain per workload, not per design point: 32 configs
+	// share 3 profiles, 3 selections, 3 checkpoint sets.
+	if cold.bbvMiss != 3 || cold.selMiss != 3 || cold.ckptMiss != 3 {
+		t.Errorf("cold profile-chain misses = %d/%d/%d (bbv/select/checkpoint), want 3/3/3 — "+
+			"design points must share one profile per workload", cold.bbvMiss, cold.selMiss, cold.ckptMiss)
+	}
+	if cold.measureMiss != 96 {
+		t.Errorf("cold measure misses = %d, want 96 (3 workloads × 32 points)", cold.measureMiss)
+	}
+
+	var res SweepResult
+	if err := json.Unmarshal(coldBytes, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 32 || len(res.Rows) != 96 {
+		t.Fatalf("result has %d configs, %d rows; want 32 and 96", len(res.Configs), len(res.Rows))
+	}
+
+	// Warm rerun from a fresh server over the same cache: everything hits.
+	warm, warmBytes := run(dir)
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Error("warm-cache result is not bit-identical to the cold run")
+	}
+	if warm.measureMiss != 0 || warm.bbvMiss != 0 {
+		t.Errorf("warm run recomputed: measure.miss=%d bbv.miss=%d, want 0/0", warm.measureMiss, warm.bbvMiss)
+	}
+	if warm.measureHit != 96 {
+		t.Errorf("warm measure hits = %d, want 96", warm.measureHit)
+	}
+
+	// The derived Pareto frontier is as deterministic as the result bytes.
+	frontier := func(raw []byte) []byte {
+		var r SweepResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		cells := make([]dse.Cell, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			cells = append(cells, dse.Cell{
+				Workload: row.Workload, Config: row.Config,
+				IPC: row.IPC, PowerMW: row.PowerMW, PerfPerWatt: row.PerfPerWatt,
+			})
+		}
+		rep := &dse.Report{Campaign: r.ID, DesignPoints: len(r.Configs), Workloads: dse.Frontiers(cells)}
+		b, err := dse.EncodeReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	fCold, fWarm := frontier(coldBytes), frontier(warmBytes)
+	if !bytes.Equal(fCold, fWarm) {
+		t.Error("Pareto frontier differs between cold and warm runs")
+	}
+	var rep dse.Report
+	if err := json.Unmarshal(fCold, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 3 {
+		t.Fatalf("frontier covers %d workloads, want 3", len(rep.Workloads))
+	}
+	for _, wf := range rep.Workloads {
+		if len(wf.Points) == 0 || wf.Best.Config == "" {
+			t.Errorf("%s: empty frontier or recommendation", wf.Workload)
+		}
+	}
+}
+
+type int64Counters struct {
+	bbvMiss, selMiss, ckptMiss, measureMiss, measureHit int64
+}

@@ -2,90 +2,11 @@ package serve
 
 import (
 	"encoding/json"
-	"fmt"
 	"math"
 
-	"repro/internal/boom"
 	"repro/internal/core"
 	"repro/internal/workloads"
 )
-
-// Campaign is the POST /v1/sweeps request body: the cross product of
-// workloads × configs evaluated at one scale under the daemon's flow
-// parameters. Empty lists mean "everything" — all registered workloads,
-// the paper's three design points — so the zero Campaign is the full
-// paper experiment at tiny scale.
-type Campaign struct {
-	// Workloads lists benchmark names (see internal/workloads.Names).
-	// Empty = all of them, in Table II order.
-	Workloads []string `json:"workloads"`
-	// Configs lists BOOM design points ("MediumBOOM"/"medium", ...).
-	// Empty = the paper's three design points in Table I order.
-	Configs []string `json:"configs"`
-	// Scale is "tiny", "default" or "paper"; empty = "tiny".
-	Scale string `json:"scale"`
-}
-
-// campaign is a validated, resolved Campaign.
-type campaign struct {
-	names []string
-	cfgs  []boom.Config
-	scale workloads.Scale
-}
-
-// resolveCampaign validates a request against the same identities the
-// sweep engine uses: workload names must be registered, config names must
-// resolve through boom.ConfigByName (which also canonicalizes shorthand
-// like "medium"), and duplicates are rejected because the journal keys
-// tasks by (kind, workload, config) labels. Everything that passes here
-// is exactly what feeds the campaign fingerprint.
-func resolveCampaign(req Campaign) (campaign, error) {
-	var c campaign
-	c.scale = workloads.ScaleTiny
-	if req.Scale != "" {
-		s, err := workloads.ParseScale(req.Scale)
-		if err != nil {
-			return c, err
-		}
-		c.scale = s
-	}
-	if len(req.Workloads) == 0 {
-		c.names = workloads.Names()
-	} else {
-		known := map[string]bool{}
-		for _, n := range workloads.Names() {
-			known[n] = true
-		}
-		seen := map[string]bool{}
-		for _, n := range req.Workloads {
-			if !known[n] {
-				return c, fmt.Errorf("unknown workload %q", n)
-			}
-			if seen[n] {
-				return c, fmt.Errorf("duplicate workload %q", n)
-			}
-			seen[n] = true
-		}
-		c.names = append([]string(nil), req.Workloads...)
-	}
-	if len(req.Configs) == 0 {
-		c.cfgs = boom.Configs()
-	} else {
-		seen := map[string]bool{}
-		for _, n := range req.Configs {
-			cfg, err := boom.ConfigByName(n)
-			if err != nil {
-				return c, err
-			}
-			if seen[cfg.Name] {
-				return c, fmt.Errorf("duplicate config %q", cfg.Name)
-			}
-			seen[cfg.Name] = true
-			c.cfgs = append(c.cfgs, cfg)
-		}
-	}
-	return c, nil
-}
 
 // SweepResult is the canonical JSON served by GET /v1/sweeps/{id}/result.
 // It contains only values that are bit-reproducible across runs — IPC,

@@ -24,7 +24,7 @@ const (
 // in Server.jobs and collapse onto it instead of enqueueing.
 type job struct {
 	id     string
-	camp   campaign
+	camp   core.Campaign
 	runner *core.Runner
 
 	// Mutable state, guarded by Server.mu.
@@ -55,15 +55,15 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	s.reg.Gauge("serve.queue_depth").Set(float64(len(s.queue)))
 	s.reg.Counter("serve.sweeps_started").Inc()
-	s.logf("sweep %s: %d workload(s) × %d config(s) at %s scale",
-		shortID(j.id), len(j.camp.names), len(j.camp.cfgs), j.camp.scale)
+	s.logf("sweep %s: %d workload(s) × %d design point(s) at %s scale",
+		shortID(j.id), len(j.camp.Workloads), len(j.camp.Configs), j.camp.Scale)
 
 	start := time.Now()
-	sw, err := j.runner.Sweep(s.baseCtx, j.camp.names, j.camp.cfgs)
+	sw, err := j.runner.Sweep(s.baseCtx, j.camp)
 	var payload []byte
 	var encErr error
 	if sw != nil {
-		payload, encErr = EncodeSweep(j.id, j.camp.scale, sw)
+		payload, encErr = EncodeSweep(j.id, j.camp.Scale, sw)
 	}
 
 	s.mu.Lock()

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/boom"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/workloads"
+)
+
+// SweepRequest is the POST /v1/sweeps body. Two request shapes share the
+// endpoint:
+//
+// v1 (named configs) — the original body, still accepted unchanged, and
+// producing byte-identical campaign fingerprints to the pre-parametric
+// service (journals and cache entries written by older builds keep
+// resuming):
+//
+//	{"workloads": ["sha"], "configs": ["medium", "mega"], "scale": "tiny"}
+//
+// v2 (parametric) — a base design point plus config_overrides and sweep
+// axes, expanded server-side through internal/dse into the cross product
+// of validated design points:
+//
+//	{"workloads": ["sha", "qsort"],
+//	 "base": "medium",
+//	 "config_overrides": {"predictor": "gshare"},
+//	 "axes": {"rob": [64, 96, 128], "int-issue-width": [2, 3]},
+//	 "scale": "tiny"}
+//
+// "configs" is mutually exclusive with base/config_overrides/axes. Axis
+// values may be JSON numbers or strings; expansions beyond dse.MaxPoints
+// are rejected at admission. Empty lists keep their v1 meaning: all
+// workloads, the paper's three design points.
+type SweepRequest struct {
+	// Workloads lists benchmark names (see internal/workloads.Names).
+	// Empty = all of them, in Table II order.
+	Workloads []string `json:"workloads,omitempty"`
+	// Configs lists named BOOM design points ("MediumBOOM"/"medium", …).
+	// Empty (with no parametric fields) = the paper's three design points
+	// in Table I order.
+	Configs []string `json:"configs,omitempty"`
+	// Scale is "tiny", "default" or "paper"; empty = "tiny".
+	Scale string `json:"scale,omitempty"`
+
+	// Base names the design point parametric expansion starts from
+	// (default MediumBOOM). Setting any parametric field switches the
+	// request to the v2 shape.
+	Base string `json:"base,omitempty"`
+	// ConfigOverrides pin parameters on the base before the axes apply.
+	ConfigOverrides map[string]AxisValue `json:"config_overrides,omitempty"`
+	// Axes maps parameter names to the values each sweeps over; the
+	// campaign is the cross product. Expansion order is deterministic
+	// (parameters sorted by name, values in request order).
+	Axes map[string][]AxisValue `json:"axes,omitempty"`
+}
+
+// AxisValue is one axis value, accepted as a JSON string or number —
+// {"rob": [64, "96"]} both work — and carried canonically as a string.
+type AxisValue string
+
+// UnmarshalJSON accepts a JSON string or number.
+func (v *AxisValue) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		s, err := strconv.Unquote(string(b))
+		if err != nil {
+			return err
+		}
+		*v = AxisValue(s)
+		return nil
+	}
+	// A number: keep its literal form (dse canonicalizes it).
+	if _, err := strconv.ParseFloat(string(b), 64); err != nil {
+		return fmt.Errorf("axis value %s is neither a string nor a number", b)
+	}
+	*v = AxisValue(b)
+	return nil
+}
+
+// MarshalJSON always emits the string form (the canonical request shape
+// boomctl sends).
+func (v AxisValue) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(string(v))), nil
+}
+
+// resolveRequest validates a request against the same identities the
+// sweep engine uses — workload names must be registered, named configs
+// resolve through boom.ConfigByName, parametric fields expand through
+// internal/dse — and returns the core.Campaign that feeds the campaign
+// fingerprint. Everything that passes here is exactly what the journal
+// and artifact cache key on.
+func resolveRequest(req SweepRequest) (core.Campaign, error) {
+	var camp core.Campaign
+	camp.Scale = workloads.ScaleTiny
+	if req.Scale != "" {
+		s, err := workloads.ParseScale(req.Scale)
+		if err != nil {
+			return camp, err
+		}
+		camp.Scale = s
+	}
+
+	if len(req.Workloads) == 0 {
+		camp.Workloads = workloads.Names()
+	} else {
+		camp.Workloads = append([]string(nil), req.Workloads...)
+	}
+
+	parametric := req.Base != "" || len(req.Axes) > 0 || len(req.ConfigOverrides) > 0
+	switch {
+	case parametric && len(req.Configs) > 0:
+		return camp, fmt.Errorf("configs is mutually exclusive with base/config_overrides/axes")
+	case parametric:
+		spec := dse.Spec{Base: req.Base}
+		for k, v := range req.ConfigOverrides {
+			spec.Overrides = append(spec.Overrides, dse.Setting{Param: k, Value: string(v)})
+		}
+		for k, vs := range req.Axes {
+			ax := dse.Axis{Param: k}
+			for _, v := range vs {
+				ax.Values = append(ax.Values, string(v))
+			}
+			spec.Axes = append(spec.Axes, ax)
+		}
+		cfgs, err := dse.Expand(spec)
+		if err != nil {
+			return camp, err
+		}
+		camp.Configs = cfgs
+	case len(req.Configs) == 0:
+		camp.Configs = boom.Configs()
+	default:
+		for _, n := range req.Configs {
+			cfg, err := boom.ConfigByName(n)
+			if err != nil {
+				return camp, err
+			}
+			camp.Configs = append(camp.Configs, cfg)
+		}
+	}
+	if err := camp.Validate(); err != nil {
+		return camp, err
+	}
+	return camp, nil
+}

@@ -7,9 +7,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/sweeps             submit a Campaign; 202 queued, 200 collapsed,
+//	POST /v1/sweeps             submit a campaign; 202 queued, 200 collapsed,
 //	                            400 invalid, 429 queue full (+Retry-After),
 //	                            503 draining
+//
+// The POST body (see SweepRequest) names workloads and a scale, plus
+// either of two config spellings. The original named form lists
+// registered design points:
+//
+//	{"workloads":["sha","qsort"], "configs":["medium","mega"], "scale":"tiny"}
+//
+// and keeps producing byte-identical campaign fingerprints to the
+// pre-parametric service, so existing journals and caches stay valid.
+// The parametric form gives a base point plus per-parameter sweep axes
+// (expanded by internal/dse into the validated cross product) and
+// optional fixed overrides:
+//
+//	{"workloads":["sha"], "base":"medium",
+//	 "axes":{"rob":[64,96], "predictor":["tage","gshare"]},
+//	 "config_overrides":{"l2-kib":1024}, "scale":"tiny"}
+//
+// Axis and override values may be JSON numbers or strings; "configs" is
+// mutually exclusive with "base"/"axes"/"config_overrides".
 //	GET  /v1/sweeps/{id}        job status
 //	GET  /v1/sweeps/{id}/result canonical result JSON; ?wait=1 blocks until
 //	                            the job reaches a terminal state
@@ -178,14 +197,14 @@ type Status struct {
 // will execute the sweep, so "same campaign" here means exactly what the
 // journal and cache mean by it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req Campaign
+	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	camp, err := resolveCampaign(req)
+	camp, err := resolveRequest(req)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -195,7 +214,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	id := runner.CampaignID(camp.names, camp.cfgs)
+	id := runner.CampaignID(camp)
 
 	s.mu.Lock()
 	if s.draining {
@@ -311,9 +330,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // newRunner builds the engine for one campaign from the daemon's config.
 // All sweeps share the server's registry and cache directory.
-func (s *Server) newRunner(c campaign) (*core.Runner, error) {
+func (s *Server) newRunner(c core.Campaign) (*core.Runner, error) {
 	opts := []core.Option{
-		core.WithScale(c.scale),
+		core.WithScale(c.Scale),
 		core.WithMetrics(s.reg),
 	}
 	if s.cfg.Parallelism > 0 {
@@ -348,22 +367,16 @@ func (s *Server) newRunner(c campaign) (*core.Runner, error) {
 		log := s.cfg.Log
 		opts = append(opts, core.WithProgress(func(m string) { log("%s", m) }))
 	}
-	return core.New(core.FlowConfigFor(c.scale), opts...), nil
+	return core.New(core.FlowConfigFor(c.Scale), opts...), nil
 }
 
 func (s *Server) statusLocked(j *job) Status {
-	names := make([]string, 0, len(j.camp.names))
-	names = append(names, j.camp.names...)
-	cfgs := make([]string, 0, len(j.camp.cfgs))
-	for _, c := range j.camp.cfgs {
-		cfgs = append(cfgs, c.Name)
-	}
 	return Status{
 		ID:        j.id,
 		State:     string(j.state),
-		Workloads: names,
-		Configs:   cfgs,
-		Scale:     j.camp.scale.String(),
+		Workloads: append([]string(nil), j.camp.Workloads...),
+		Configs:   j.camp.ConfigNames(),
+		Scale:     j.camp.Scale.String(),
 		Collapsed: j.collapsed,
 		Error:     j.err,
 	}

@@ -67,8 +67,9 @@ func get(t *testing.T, url string) (*http.Response, []byte) {
 func directSweepBytes(t *testing.T, names []string, cfgs []boom.Config, scale workloads.Scale) (string, []byte) {
 	t.Helper()
 	r := core.New(core.FlowConfigFor(scale), core.WithScale(scale))
-	id := r.CampaignID(names, cfgs)
-	sw, err := r.Sweep(context.Background(), names, cfgs)
+	camp := core.NewCampaign(names, cfgs, scale)
+	id := r.CampaignID(camp)
+	sw, err := r.Sweep(context.Background(), camp)
 	if err != nil {
 		t.Fatal(err)
 	}
