@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke bench bench-smoke check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,14 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: the packages with new concurrent code (metrics registry,
-# Runner worker pool, artifact cache, fault injector, HTTP job service)
-# must stay race-clean.
+# Runner worker pool, artifact cache, fault injector, HTTP job service,
+# sweep fabric) must stay race-clean. The fabric package runs -short:
+# its full 11×3 conformance matrices are covered race-free by `make
+# test`, while the journal, lease, resume, and store-economy tests all
+# still run under the race detector.
 race:
 	$(GO) test -race ./internal/metrics ./internal/core ./internal/artifact ./internal/faultinject ./internal/serve
+	$(GO) test -race -short ./internal/fabric
 
 # Fuzz smoke: a few seconds per target on top of the committed seed
 # corpora (go accepts one -fuzz target per invocation).
@@ -141,6 +145,57 @@ dse-smoke:
 	rm -rf .dse-check
 	@echo "dse-smoke: OK"
 
+# Fabric smoke: boot a coordinator boomd and a worker boomd on ephemeral
+# ports, run a campaign through the fabric (worker registered, cells
+# leased and reported — no local fallback), then rerun the same campaign
+# on a standalone boomd and require the two result bodies to be
+# byte-identical (cmp). This is the CLI-level proof of the in-tree
+# cross-node conformance suite.
+fabric-smoke:
+	rm -rf .fabric-check && mkdir -p .fabric-check
+	$(GO) build -o .fabric-check/boomd ./cmd/boomd
+	$(GO) build -o .fabric-check/boomctl ./cmd/boomctl
+	set -e; \
+	./.fabric-check/boomd -addr 127.0.0.1:0 -q -cache .fabric-check/store \
+		> .fabric-check/coord.txt 2> .fabric-check/coord.log & cpid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q 'listening on' .fabric-check/coord.txt 2>/dev/null && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^boomd: listening on //p' .fabric-check/coord.txt | head -1); \
+	test -n "$$addr" || { echo "fabric-smoke: coordinator never bound"; kill $$cpid; exit 1; }; \
+	./.fabric-check/boomd -worker -coordinator http://$$addr -worker-id smoke-w1 \
+		-cache .fabric-check/wcache \
+		> .fabric-check/worker.txt 2> .fabric-check/worker.log & wpid=$$!; \
+	for i in $$(seq 1 50); do \
+		./.fabric-check/boomctl -addr $$addr metrics 2>/dev/null \
+			| grep -q '^fabric_workers 1$$' && break; sleep 0.1; \
+	done; \
+	./.fabric-check/boomctl -addr $$addr metrics | grep -q '^fabric_workers 1$$' \
+		|| { echo "fabric-smoke: worker never registered"; kill $$cpid $$wpid; exit 1; }; \
+	./.fabric-check/boomctl -addr $$addr submit -workloads sha,qsort -configs medium \
+		-scale tiny -wait > .fabric-check/fabric.json; \
+	./.fabric-check/boomctl -addr $$addr status > .fabric-check/status.json; \
+	grep -q 'smoke-w1' .fabric-check/status.json; \
+	./.fabric-check/boomctl -addr $$addr metrics > .fabric-check/metrics.txt; \
+	grep -q '^fabric_cells_done 4$$' .fabric-check/metrics.txt; \
+	! grep -q '^fabric_local_fallback [1-9]' .fabric-check/metrics.txt; \
+	kill -TERM $$wpid; wait $$wpid; \
+	kill -TERM $$cpid; wait $$cpid
+	set -e; \
+	./.fabric-check/boomd -addr 127.0.0.1:0 -q \
+		> .fabric-check/solo.txt 2> .fabric-check/solo.log & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q 'listening on' .fabric-check/solo.txt 2>/dev/null && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^boomd: listening on //p' .fabric-check/solo.txt | head -1); \
+	test -n "$$addr" || { echo "fabric-smoke: solo boomd never bound"; kill $$pid; exit 1; }; \
+	./.fabric-check/boomctl -addr $$addr submit -workloads sha,qsort -configs medium \
+		-scale tiny -wait > .fabric-check/solo.json; \
+	kill -TERM $$pid; wait $$pid
+	cmp .fabric-check/fabric.json .fabric-check/solo.json
+	rm -rf .fabric-check
+	@echo "fabric-smoke: OK"
+
 # Kernel benchmarks: measure the hot-path kernels (BOOM tick, decode,
 # stats/power accumulate, functional step) and record cycles/sec, ns/op,
 # and allocs/op per BOOM config in BENCH_kernel.json. See README
@@ -161,4 +216,4 @@ bench-smoke:
 	rm -rf .bench-check
 	@echo "bench-smoke: OK"
 
-check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke
+check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke

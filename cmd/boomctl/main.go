@@ -2,15 +2,18 @@
 //
 //	boomctl [-addr HOST:PORT] submit [-workloads sha,qsort] [-configs medium] [-scale tiny] [-wait]
 //	boomctl [-addr HOST:PORT] submit -base MediumBOOM -axes 'rob=64,96;predictor=tage,gshare' [-override 'l2-kib=1024']
-//	boomctl [-addr HOST:PORT] status ID
+//	boomctl [-addr HOST:PORT] status [ID]
 //	boomctl [-addr HOST:PORT] result ID [-wait]
 //	boomctl [-addr HOST:PORT] metrics
 //	boomctl [-addr HOST:PORT] health
 //
 // submit prints the job ID (the campaign fingerprint) on stdout; with
 // -wait it blocks until the sweep is terminal and prints the result JSON
-// instead. Exit status is non-zero on any HTTP error, including a failed
-// sweep.
+// instead. status with an ID reports that job; with no ID it reports the
+// fabric (registered workers, in-flight campaigns' cell accounting) — a
+// draining coordinator answers that with 503 + Retry-After, which boomctl
+// surfaces as a typed "retry after Ns" error rather than a bare failure.
+// Exit status is non-zero on any HTTP error, including a failed sweep.
 package main
 
 import (
@@ -67,10 +70,14 @@ func run(args []string, out io.Writer) error {
 	case "submit":
 		return c.submit(rest)
 	case "status":
-		if len(rest) != 1 {
+		switch len(rest) {
+		case 0:
+			return c.get("/v1/fabric/status")
+		case 1:
+			return c.get("/v1/sweeps/" + rest[0])
+		default:
 			return usage()
 		}
-		return c.get("/v1/sweeps/" + rest[0])
 	case "result":
 		wait := len(rest) == 2 && rest[1] == "-wait"
 		if len(rest) != 1 && !wait {
@@ -91,7 +98,7 @@ func run(args []string, out io.Writer) error {
 func usage() error {
 	return fmt.Errorf("usage: boomctl [-addr HOST:PORT] [-timeout D] " +
 		"submit [-workloads a,b] [-configs x,y | -base CFG -axes 'p=v1,v2;…' -override 'p=v;…'] [-scale S] [-wait] | " +
-		"status ID | result ID [-wait] | metrics | health")
+		"status [ID] | result ID [-wait] | metrics | health")
 }
 
 type client struct {
@@ -212,7 +219,9 @@ func (c *client) get(path string) error {
 }
 
 // readBody drains the response and turns non-2xx (other than 202, which
-// callers branch on) into an error carrying the server's message.
+// callers branch on) into an error carrying the server's message — plus
+// the Retry-After hint when the server sent one, so a draining node reads
+// as "retry after Ns", not a bare failure.
 func readBody(resp *http.Response) ([]byte, error) {
 	b, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -220,6 +229,9 @@ func readBody(resp *http.Response) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode >= 400 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return nil, fmt.Errorf("%s: %s (retry after %ss)", resp.Status, bytes.TrimSpace(b), ra)
+		}
 		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
 	}
 	return b, nil

@@ -147,10 +147,54 @@ func TestClientErrors(t *testing.T) {
 		{"frobnicate"},
 		{"-addr"},
 		{"submit", "-bogus"},
-		{"status"},
+		{"status", "id", "extra"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %q must fail usage", args)
+		}
+	}
+}
+
+// TestStatusFabric: bare `boomctl status` reads the coordinator's fabric
+// status endpoint.
+func TestStatusFabric(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fabric/status" {
+			t.Errorf("bare status hit %s, want /v1/fabric/status", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"draining":false,"workers":[],"campaigns":[]}`))
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-addr", strings.TrimPrefix(ts.URL, "http://"), "status"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"draining":false`) {
+		t.Errorf("status output %q", out.String())
+	}
+}
+
+// TestStatusDraining: a draining coordinator's 503 surfaces as a typed
+// error carrying both the server's message and the Retry-After hint —
+// the regression this pins is bare-TCP-error-looking output for a node
+// that is merely shutting down.
+func TestStatusDraining(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"coordinator is draining; retry later"}`))
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	err := run([]string{"-addr", strings.TrimPrefix(ts.URL, "http://"), "status"}, &out)
+	if err == nil {
+		t.Fatal("draining status must fail")
+	}
+	for _, want := range []string{"503", "draining", "retry after 5s"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("draining error %q missing %q", err, want)
 		}
 	}
 }

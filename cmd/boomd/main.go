@@ -15,6 +15,20 @@
 // sweeps are canceled — every completed task is already journaled under
 // -cache, so restarting boomd with -resume and resubmitting the campaign
 // recomputes nothing that finished.
+//
+// boomd is also both halves of the distributed sweep fabric
+// (internal/fabric). Every daemon embeds a coordinator: campaigns
+// submitted to /v1/sweeps are sharded across any workers registered at
+// /v1/fabric/, and run locally when none are (so a solo boomd behaves
+// exactly as before). With -cache the coordinator also serves the
+// cluster's remote artifact store at /v1/artifacts/. A worker node runs
+//
+//	boomd -worker -coordinator http://head:8080
+//
+// which registers with the head daemon, leases (workload × config) cells,
+// executes them through the ordinary pipeline (local cache over the
+// cluster store), and reports canonical result bytes back. Determinism
+// makes the distributed result byte-identical to the single-node one.
 package main
 
 import (
@@ -28,7 +42,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/engineflags"
+	"repro/internal/fabric"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
@@ -47,6 +65,10 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "concurrent sweeps (keep 1 with -cache: the journal is per cache dir)")
 	grace := fs.Duration("grace", 30*time.Second, "drain grace on SIGTERM before canceling in-flight sweeps")
 	quiet := fs.Bool("q", false, "log lifecycle events only, not per-stage progress")
+	workerMode := fs.Bool("worker", false, "run as a fabric worker instead of a daemon (requires -coordinator)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL a -worker registers with")
+	workerID := fs.String("worker-id", "", "fabric worker identity (default worker-<pid>)")
+	lease := fs.Duration("lease", 15*time.Second, "fabric cell lease; a worker silent this long has its cells stolen")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +79,32 @@ func run(args []string) error {
 	logf := func(format string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, "boomd: "+format+"\n", a...)
 	}
+	if *workerMode {
+		return runWorker(*coordinator, *workerID, ef, logf)
+	}
+
+	// Every daemon embeds a fabric coordinator; with no registered workers
+	// RunCampaign falls back to the job's local runner, so a solo boomd is
+	// byte-identical to the pre-fabric service.
+	reg := metrics.NewRegistry()
+	inj, err := faultinject.Parse(ef.Chaos)
+	if err != nil {
+		return err
+	}
+	var store *artifact.Cache
+	if ef.CacheDir != "" {
+		store = artifact.Open(ef.CacheDir)
+	}
+	coord := fabric.NewCoordinator(fabric.Config{
+		Store:      store,
+		Registry:   reg,
+		Lease:      *lease,
+		KeepGoing:  ef.KeepGoing,
+		Resume:     ef.Resume,
+		JournalDir: ef.CacheDir,
+		Injector:   inj,
+		Log:        logf,
+	})
 	srv, err := serve.New(serve.Config{
 		CacheDir:     ef.CacheDir,
 		CacheVerify:  ef.CacheVerify,
@@ -70,10 +118,14 @@ func run(args []string) error {
 		SweepWorkers: *workers,
 		Log:          logf,
 		Progress:     !*quiet,
+		Registry:     reg,
+		RemoteStore:  ef.RemoteStore,
+		Distribute:   coord.RunCampaign,
 	})
 	if err != nil {
 		return err
 	}
+	coord.SetDrainCheck(srv.Draining)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,7 +134,11 @@ func run(args []string) error {
 	// Stdout so scripts can scrape the bound address (port 0 support).
 	fmt.Printf("boomd: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/fabric/", coord.Handler())
+	mux.Handle("/v1/artifacts/", coord.Handler())
+	mux.Handle("/", srv.Handler())
+	hs := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -105,5 +161,37 @@ func run(args []string) error {
 	defer hcancel()
 	_ = hs.Shutdown(hctx)
 	logf("bye")
+	return nil
+}
+
+// runWorker is -worker mode: one fabric worker polling a coordinator
+// until SIGTERM/SIGINT. The worker's cache directory (-cache, or a temp
+// dir) is its local artifact tier over the coordinator's store.
+func runWorker(coordinator, id string, ef *engineflags.Flags, logf func(string, ...interface{})) error {
+	if coordinator == "" {
+		return fmt.Errorf("-worker requires -coordinator URL")
+	}
+	inj, err := faultinject.Parse(ef.Chaos)
+	if err != nil {
+		return err
+	}
+	w, err := fabric.NewWorker(fabric.WorkerConfig{
+		Coordinator: coordinator,
+		ID:          id,
+		CacheDir:    ef.CacheDir,
+		Registry:    metrics.NewRegistry(),
+		Injector:    inj,
+		Log:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("boomd: worker %s polling %s\n", w.ID(), coordinator)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	logf("worker %s: bye", w.ID())
 	return nil
 }

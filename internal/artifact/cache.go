@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -44,9 +45,10 @@ const maxPayload = 1 << 32
 // use: entries are immutable once renamed into place, and concurrent
 // writers of the same key converge on identical content.
 type Cache struct {
-	dir string
-	reg *metrics.Registry     // optional; nil disables instrumentation
-	inj *faultinject.Injector // optional; nil disables fault sites
+	dir    string
+	reg    *metrics.Registry     // optional; nil disables instrumentation
+	inj    *faultinject.Injector // optional; nil disables fault sites
+	remote *Remote               // optional read-through/write-through tier
 }
 
 // Open returns a cache rooted at dir. The directory is created lazily on
@@ -71,6 +73,14 @@ func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
 // A nil injector (the default) disables both.
 func (c *Cache) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
 
+// SetRemote attaches a remote artifact store as a second tier: Get falls
+// through a local miss to a checksum-verified remote fetch (filling the
+// local tier on success), and Put pushes every entry to the store after
+// the local write, so stages computed on one node feed every other node
+// sharing the store. A nil remote (the default) keeps the cache purely
+// local. See Remote for the fetch-verification contract.
+func (c *Cache) SetRemote(r *Remote) { c.remote = r }
+
 func (c *Cache) count(name string) {
 	if c.reg != nil {
 		c.reg.Counter(name).Inc()
@@ -90,64 +100,141 @@ func (c *Cache) path(k Key) string {
 // the wall-clock the hit just saved, which callers reuse to keep cached
 // and uncached runs report-identical. Corrupted or version-mismatched
 // entries are evicted and reported as a miss.
+//
+// With a remote store attached (SetRemote), a local miss — including a
+// local eviction — falls through to a remote fetch. A fetched entry is
+// checksum-verified before use: a corrupt entry is evicted from the store
+// (so the slot heals on the next Push) and reported as a miss, never
+// returned. Verified entries fill the local tier and count as hits.
 func (c *Cache) Get(k Key) (payload []byte, costNS int64, ok bool) {
 	miss := func() ([]byte, int64, bool) {
 		c.count("artifact.miss")
 		c.count("artifact." + k.Stage + ".miss")
 		return nil, 0, false
 	}
-	data, err := os.ReadFile(c.path(k))
-	if err != nil {
-		return miss()
+	hit := func(payload []byte, costNS int64) ([]byte, int64, bool) {
+		c.count("artifact.hit")
+		c.count("artifact." + k.Stage + ".hit")
+		if c.reg != nil {
+			c.reg.Counter("artifact.saved_ns").Add(costNS)
+		}
+		return payload, costNS, true
 	}
-	data = c.inj.Corrupt(data, "artifact.read", k.Stage)
-	payload, costNS, err = decodeEntry(data, k.Version)
-	if err != nil {
-		// Corrupt or mismatched: evict so the slot heals on the next write.
+	data, err := os.ReadFile(c.path(k))
+	if err == nil {
+		data = c.inj.Corrupt(data, "artifact.read", k.Stage)
+		payload, costNS, err = decodeEntry(data, k.Version)
+		if err == nil {
+			return hit(payload, costNS)
+		}
+		// Corrupt or mismatched: evict so the slot heals on the next write
+		// (or on the remote fetch below).
 		os.Remove(c.path(k))
 		c.count("artifact.evict")
+	}
+	if c.remote == nil {
 		return miss()
 	}
-	c.count("artifact.hit")
-	c.count("artifact." + k.Stage + ".hit")
-	if c.reg != nil {
-		c.reg.Counter("artifact.saved_ns").Add(costNS)
+	entry, ok := c.fetchRemote(k)
+	if !ok {
+		return miss()
 	}
-	return payload, costNS, true
+	payload, costNS, err = decodeEntry(entry, k.Version)
+	if err != nil {
+		// unreachable: fetchRemote only returns verified entries
+		return miss()
+	}
+	return hit(payload, costNS)
+}
+
+// fetchRemote pulls one entry from the remote store and verifies it
+// end to end before anything downstream can touch it. The contract is
+// absolute: corrupt bytes are never served. A checksum mismatch — whether
+// from the wire, the store's disk, or the injected "artifact.fetch" chaos
+// site — evicts the store slot (best effort) so the next Push heals it,
+// and the caller recomputes. Verified entries are written through to the
+// local tier so subsequent Gets stop paying the round trip.
+func (c *Cache) fetchRemote(k Key) (entry []byte, ok bool) {
+	if err := c.inj.Hit("artifact.fetch", k.Stage); err != nil {
+		c.count("artifact.remote.error")
+		return nil, false
+	}
+	entry, err := c.remote.Fetch(k)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			c.count("artifact.remote.miss")
+		} else {
+			c.count("artifact.remote.error")
+		}
+		return nil, false
+	}
+	entry = c.inj.Corrupt(entry, "artifact.fetch", k.Stage)
+	if _, _, err := decodeEntry(entry, k.Version); err != nil {
+		_ = c.remote.Evict(k)
+		c.count("artifact.remote.evict")
+		return nil, false
+	}
+	if err := c.putRaw(k, entry); err == nil {
+		c.count("artifact.remote.fill")
+	}
+	c.count("artifact.remote.fetch")
+	return entry, true
 }
 
 // Put stores an artifact atomically: the entry is written to a temp file
 // in the cache root and renamed into place, so readers only ever observe
 // complete entries. costNS records how long the payload took to compute.
+//
+// With a remote store attached, the entry is pushed to the store after
+// the local write, and a push failure fails the Put: a distributed worker
+// must not report a stage done while its artifact is invisible to the
+// rest of the cluster. Concurrent Puts of the same key are idempotent —
+// the content-addressed key makes every writer's entry byte-identical
+// (modulo the advisory costNS), so last-rename/last-push wins harmlessly.
 func (c *Cache) Put(k Key, payload []byte, costNS int64) error {
 	if err := c.inj.Hit("artifact.write", k.Stage); err != nil {
 		return fmt.Errorf("artifact: writing %s: %w", k, err)
 	}
-	path := c.path(k)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("artifact: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("artifact: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	_, werr := tmp.Write(encodeEntry(payload, k.Version, costNS))
-	cerr := tmp.Close()
-	if werr != nil {
-		return fmt.Errorf("artifact: writing %s: %w", k, werr)
-	}
-	if cerr != nil {
-		return fmt.Errorf("artifact: writing %s: %w", k, cerr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("artifact: %w", err)
+	entry := encodeEntry(payload, k.Version, costNS)
+	if err := c.putRaw(k, entry); err != nil {
+		return fmt.Errorf("artifact: writing %s: %w", k, err)
 	}
 	c.count("artifact.put")
 	if c.reg != nil {
 		c.reg.Counter("artifact.put_bytes").Add(int64(len(payload)))
 	}
+	if c.remote != nil {
+		if err := c.remote.Push(k, entry); err != nil {
+			c.count("artifact.remote.push_error")
+			return fmt.Errorf("artifact: pushing %s to remote store: %w", k, err)
+		}
+		c.count("artifact.remote.push")
+	}
 	return nil
+}
+
+// putRaw renames an already-encoded entry into place atomically (the
+// local-write half of Put, also used for remote read-through fills and by
+// the store server's PUT handler).
+func (c *Cache) putRaw(k Key, entry []byte) error {
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(entry)
+	cerr := tmp.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Entries walks the cache and reports the number of artifact files and

@@ -37,10 +37,10 @@ func TestKeySeparatesStageVersionAndFields(t *testing.T) {
 	}
 	base := NewKey("bbv", 1, cfg{"ab", "", 3})
 	distinct := []Key{
-		NewKey("select", 1, cfg{"ab", "", 3}),  // stage
-		NewKey("bbv", 2, cfg{"ab", "", 3}),     // schema version
-		NewKey("bbv", 1, cfg{"a", "b", 3}),     // field boundary: "ab"+"" vs "a"+"b"
-		NewKey("bbv", 1, cfg{"ab", "", 4}),     // value
+		NewKey("select", 1, cfg{"ab", "", 3}),            // stage
+		NewKey("bbv", 2, cfg{"ab", "", 3}),               // schema version
+		NewKey("bbv", 1, cfg{"a", "b", 3}),               // field boundary: "ab"+"" vs "a"+"b"
+		NewKey("bbv", 1, cfg{"ab", "", 4}),               // value
 		NewKey("bbv", 1, struct{ A, B, N int }{0, 0, 3}), // field types
 	}
 	seen := map[Key]string{base: "base"}

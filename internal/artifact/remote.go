@@ -1,0 +1,204 @@
+// Remote artifact store: the HTTP tier that lets the distributed sweep
+// fabric share one content-addressed cache across nodes. The coordinator
+// mounts NewServer over its local Cache; workers attach a Remote client
+// to theirs (Cache.SetRemote), turning every local miss into a verified
+// fetch and every Put into a write-through Push. Because entries are
+// content-addressed and self-checksummed, the protocol needs no
+// conditional requests: a GET either returns a complete verified entry or
+// 404, and concurrent PUTs of one key converge on identical bytes.
+//
+// Wire layout (entry bytes exactly as Cache stores them on disk):
+//
+//	GET    /v1/artifacts/{stage}/v{version}/{hex}  200 entry | 404
+//	PUT    /v1/artifacts/{stage}/v{version}/{hex}  204 | 400 corrupt entry
+//	DELETE /v1/artifacts/{stage}/v{version}/{hex}  204 (idempotent)
+package artifact
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrNotFound reports a key absent from the remote store.
+var ErrNotFound = fmt.Errorf("artifact: not found in remote store")
+
+// Remote is the client half of the remote artifact store. A nil *Remote
+// is inert. Safe for concurrent use.
+type Remote struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemote returns a client for the store at base (e.g.
+// "http://coordinator:8080"). hc nil uses a client with a 60s timeout.
+func NewRemote(base string, hc *http.Client) *Remote {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Remote{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (r *Remote) url(k Key) string {
+	return fmt.Sprintf("%s/v1/artifacts/%s/v%d/%s", r.base, k.Stage, k.Version, k.Hex())
+}
+
+// Fetch retrieves the raw entry bytes for k. The caller (Cache.Get)
+// verifies the entry checksum before using or persisting it — Fetch
+// itself only moves bytes. Returns ErrNotFound for an absent key.
+func (r *Remote) Fetch(k Key) ([]byte, error) {
+	resp, err := r.hc.Get(r.url(k))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(io.LimitReader(resp.Body, maxPayload+headerSize))
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("artifact: remote store GET %s: %s", k, resp.Status)
+	}
+}
+
+// Push uploads the raw entry bytes for k. Pushing the same key twice is
+// idempotent: content addressing makes every writer's entry equivalent.
+func (r *Remote) Push(k Key, entry []byte) error {
+	req, err := http.NewRequest(http.MethodPut, r.url(k), bytes.NewReader(entry))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("artifact: remote store PUT %s: %s", k, resp.Status)
+	}
+	return nil
+}
+
+// Evict removes k from the store (best effort; absent keys succeed). Used
+// when a fetched entry fails verification, so the slot heals on the next
+// Push instead of serving the same corrupt bytes forever.
+func (r *Remote) Evict(k Key) error {
+	req, err := http.NewRequest(http.MethodDelete, r.url(k), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("artifact: remote store DELETE %s: %s", k, resp.Status)
+	}
+	return nil
+}
+
+var hexSumRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// parseStoreKey reconstructs a Key from its three path components,
+// rejecting anything that could escape the cache's directory layout.
+func parseStoreKey(stage, version, sum string) (Key, error) {
+	var k Key
+	if stage == "" || strings.ContainsAny(stage, "/\\.") {
+		return k, fmt.Errorf("bad stage %q", stage)
+	}
+	v, ok := strings.CutPrefix(version, "v")
+	if !ok {
+		return k, fmt.Errorf("bad version %q", version)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return k, fmt.Errorf("bad version %q", version)
+	}
+	if !hexSumRE.MatchString(sum) {
+		return k, fmt.Errorf("bad key %q", sum)
+	}
+	raw, err := hex.DecodeString(sum)
+	if err != nil {
+		return k, fmt.Errorf("bad key %q", sum)
+	}
+	k.Stage, k.Version = stage, n
+	copy(k.Sum[:], raw)
+	return k, nil
+}
+
+// NewServer returns the HTTP handler serving c as a remote artifact
+// store. The handler upholds the store's one invariant — corrupt bytes
+// are never served: every PUT is verified before it is persisted, and
+// every GET re-verifies the entry read off disk, evicting (and 404ing)
+// anything that rotted in place. Mount it wherever /v1/artifacts/
+// resolves (the fabric coordinator mounts it next to its own API).
+func NewServer(c *Cache) http.Handler {
+	mux := http.NewServeMux()
+	withKey := func(fn func(w http.ResponseWriter, r *http.Request, k Key)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			k, err := parseStoreKey(r.PathValue("stage"), r.PathValue("version"), r.PathValue("sum"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fn(w, r, k)
+		}
+	}
+	mux.HandleFunc("GET /v1/artifacts/{stage}/{version}/{sum}", withKey(
+		func(w http.ResponseWriter, r *http.Request, k Key) {
+			data, err := os.ReadFile(c.path(k))
+			if err != nil {
+				c.count("artifact.store.get_miss")
+				http.NotFound(w, r)
+				return
+			}
+			if _, _, err := decodeEntry(data, k.Version); err != nil {
+				// Rotted on the store's disk: evict rather than serve.
+				os.Remove(c.path(k))
+				c.count("artifact.store.evict")
+				http.NotFound(w, r)
+				return
+			}
+			c.count("artifact.store.get")
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+		}))
+	mux.HandleFunc("PUT /v1/artifacts/{stage}/{version}/{sum}", withKey(
+		func(w http.ResponseWriter, r *http.Request, k Key) {
+			entry, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPayload+headerSize))
+			if err != nil {
+				http.Error(w, "reading entry: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if _, _, err := decodeEntry(entry, k.Version); err != nil {
+				c.count("artifact.store.put_rejected")
+				http.Error(w, "corrupt entry: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := c.putRaw(k, entry); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			c.count("artifact.store.put")
+			w.WriteHeader(http.StatusNoContent)
+		}))
+	mux.HandleFunc("DELETE /v1/artifacts/{stage}/{version}/{sum}", withKey(
+		func(w http.ResponseWriter, _ *http.Request, k Key) {
+			os.Remove(c.path(k))
+			c.count("artifact.store.delete")
+			w.WriteHeader(http.StatusNoContent)
+		}))
+	return mux
+}

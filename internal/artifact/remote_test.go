@@ -1,0 +1,271 @@
+package artifact
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// startStore stands up a store server over its own Cache and returns the
+// store cache plus a Remote pointed at it.
+func startStore(t *testing.T) (*Cache, *Remote) {
+	t.Helper()
+	store := Open(t.TempDir())
+	ts := httptest.NewServer(NewServer(store))
+	t.Cleanup(ts.Close)
+	return store, NewRemote(ts.URL, ts.Client())
+}
+
+// TestRemoteReadThrough: a Put on one node is visible to a Get on another
+// through the store, fills the second node's local tier, and counts as a
+// hit there.
+func TestRemoteReadThrough(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("measure", 1, struct{ W string }{"sha"})
+	payload := []byte("canonical result bytes")
+
+	a := Open(t.TempDir())
+	a.SetRemote(remote)
+	regA := metrics.NewRegistry()
+	a.SetMetrics(regA)
+	if err := a.Put(k, payload, 42); err != nil {
+		t.Fatal(err)
+	}
+	if n := regA.Counter("artifact.remote.push").Value(); n != 1 {
+		t.Errorf("push count %d, want 1", n)
+	}
+	if n, _, _ := store.Entries(); n != 1 {
+		t.Errorf("store entries %d, want 1 after write-through", n)
+	}
+
+	b := Open(t.TempDir())
+	b.SetRemote(remote)
+	regB := metrics.NewRegistry()
+	b.SetMetrics(regB)
+	got, costNS, ok := b.Get(k)
+	if !ok || string(got) != string(payload) || costNS != 42 {
+		t.Fatalf("remote read-through Get = %q, %d, %v", got, costNS, ok)
+	}
+	if n := regB.Counter("artifact.remote.fetch").Value(); n != 1 {
+		t.Errorf("fetch count %d, want 1", n)
+	}
+	if n := regB.Counter("artifact.hit").Value(); n != 1 {
+		t.Errorf("remote-tier hit must count as artifact.hit, got %d", n)
+	}
+	// The fetch filled the local tier: the next Get never leaves the node.
+	if _, _, ok := b.Get(k); !ok {
+		t.Fatal("local fill missing after remote fetch")
+	}
+	if n := regB.Counter("artifact.remote.fetch").Value(); n != 1 {
+		t.Errorf("second Get refetched (count %d), local fill not used", n)
+	}
+
+	// A key nobody pushed is a plain miss.
+	if _, _, ok := b.Get(NewKey("measure", 1, struct{ W string }{"qsort"})); ok {
+		t.Fatal("absent key must miss")
+	}
+	if n := regB.Counter("artifact.remote.miss").Value(); n != 1 {
+		t.Errorf("remote miss count %d, want 1", n)
+	}
+}
+
+// TestRemoteStoreDiskRot: an entry corrupted on the store's own disk is
+// evicted server-side and 404s — the client sees a miss and recomputes;
+// corrupt bytes never cross the wire.
+func TestRemoteStoreDiskRot(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("checkpoint", 1, struct{ W string }{"fft"})
+	if err := store.Put(k, []byte("good checkpoint"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the stored entry in place.
+	data, err := os.ReadFile(store.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(store.path(k), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := Open(t.TempDir())
+	c.SetRemote(remote)
+	reg := metrics.NewRegistry()
+	store.SetMetrics(reg)
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("rotted store entry must never be served")
+	}
+	if n := reg.Counter("artifact.store.evict").Value(); n != 1 {
+		t.Errorf("store-side evict count %d, want 1", n)
+	}
+	if _, err := os.Stat(store.path(k)); !os.IsNotExist(err) {
+		t.Error("rotted entry still on store disk after evict")
+	}
+	// The slot heals on the next Push: recompute-and-Put serves cleanly.
+	if err := c.Put(k, []byte("good checkpoint"), 1); err != nil {
+		t.Fatal(err)
+	}
+	d := Open(t.TempDir())
+	d.SetRemote(remote)
+	if got, _, ok := d.Get(k); !ok || string(got) != "good checkpoint" {
+		t.Fatalf("healed slot Get = %q, %v", got, ok)
+	}
+}
+
+// TestRemoteFetchCorrupt: the "artifact.fetch" chaos site corrupts the
+// entry in flight; the client must evict the store slot and report a miss
+// (recompute), then the next Push heals the slot.
+func TestRemoteFetchCorrupt(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("select", 1, struct{ W string }{"dijkstra"})
+	if err := store.Put(k, []byte("simpoint selection"), 7); err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := faultinject.Parse("3:artifact.fetch/select=corrupt:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Open(t.TempDir())
+	c.SetRemote(remote)
+	c.SetFaultInjector(inj)
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("in-flight corruption must never be served")
+	}
+	if n := reg.Counter("artifact.remote.evict").Value(); n != 1 {
+		t.Errorf("client-driven store evict count %d, want 1", n)
+	}
+	if _, err := os.Stat(store.path(k)); !os.IsNotExist(err) {
+		t.Error("store slot not evicted after corrupt fetch")
+	}
+	// Recompute + Put (the rule fired once, so this fetch path is clean).
+	if err := c.Put(k, []byte("simpoint selection"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := c.Get(k); !ok || string(got) != "simpoint selection" {
+		t.Fatalf("after heal Get = %q, %v", got, ok)
+	}
+}
+
+// TestRemoteFetchError: a transient injected fetch error degrades to a
+// plain miss, never an incident.
+func TestRemoteFetchError(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("bbv", 1, struct{ W string }{"sha"})
+	if err := store.Put(k, []byte("vectors"), 1); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultinject.Parse("1:artifact.fetch/bbv=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Open(t.TempDir())
+	c.SetRemote(remote)
+	c.SetFaultInjector(inj)
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	if _, _, ok := c.Get(k); ok {
+		t.Fatal("faulted fetch must miss")
+	}
+	if n := reg.Counter("artifact.remote.error").Value(); n != 1 {
+		t.Errorf("remote error count %d, want 1", n)
+	}
+	// The fault was transient (x1): the next Get succeeds.
+	if got, _, ok := c.Get(k); !ok || string(got) != "vectors" {
+		t.Fatalf("post-fault Get = %q, %v", got, ok)
+	}
+}
+
+// TestRemoteConcurrentPut: concurrent PUTs of one content-addressed key
+// are idempotent — all succeed, the store holds exactly one entry, and it
+// verifies.
+func TestRemoteConcurrentPut(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("measure", 1, struct{ W string }{"qsort"})
+	payload := []byte(strings.Repeat("result", 1000))
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := Open(t.TempDir())
+			c.SetRemote(remote)
+			errs[i] = c.Put(k, payload, 5)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Put %d: %v", i, err)
+		}
+	}
+	if n, _, err := store.Entries(); err != nil || n != 1 {
+		t.Errorf("store entries = %d (%v), want exactly 1", n, err)
+	}
+	c := Open(t.TempDir())
+	c.SetRemote(remote)
+	if got, _, ok := c.Get(k); !ok || string(got) != string(payload) {
+		t.Fatal("converged entry does not verify")
+	}
+}
+
+// TestStoreRejectsCorruptPut: the store's PUT handler verifies entries
+// before persisting — garbage gets 400 and the Put fails loudly (a worker
+// must not believe its artifact is visible when it is not).
+func TestStoreRejectsCorruptPut(t *testing.T) {
+	store, remote := startStore(t)
+	k := NewKey("measure", 1, struct{ W string }{"sha"})
+	if err := remote.Push(k, []byte("not an entry")); err == nil {
+		t.Fatal("store accepted a corrupt entry")
+	}
+	if n, _, _ := store.Entries(); n != 0 {
+		t.Errorf("store persisted a rejected entry (%d files)", n)
+	}
+	// And through the Cache layer: a push failure fails the Put.
+	ts := httptest.NewServer(NewServer(store))
+	defer ts.Close()
+	bad := NewRemote(ts.URL+"/nowhere", nil) // wrong base: every push 404s
+	c := Open(t.TempDir())
+	c.SetRemote(bad)
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	if err := c.Put(k, []byte("fine payload"), 1); err == nil {
+		t.Fatal("Put must fail when the write-through push fails")
+	}
+	if n := reg.Counter("artifact.remote.push_error").Value(); n != 1 {
+		t.Errorf("push_error count %d, want 1", n)
+	}
+}
+
+// TestParseStoreKey: path components that could escape the cache layout
+// are rejected.
+func TestParseStoreKey(t *testing.T) {
+	good := NewKey("measure", 3, struct{ X int }{1})
+	k, err := parseStoreKey("measure", "v3", good.Hex())
+	if err != nil || k != good {
+		t.Fatalf("round trip = %+v, %v", k, err)
+	}
+	for _, bad := range [][3]string{
+		{"", "v1", good.Hex()},
+		{"..", "v1", good.Hex()},
+		{"a/b", "v1", good.Hex()},
+		{"measure", "1", good.Hex()},
+		{"measure", "v-1", good.Hex()},
+		{"measure", "vx", good.Hex()},
+		{"measure", "v1", "zz"},
+		{"measure", "v1", strings.Repeat("A", 64)},
+	} {
+		if _, err := parseStoreKey(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("parseStoreKey(%q, %q, %q) must fail", bad[0], bad[1], bad[2])
+		}
+	}
+}

@@ -59,6 +59,7 @@ type Runner struct {
 	par          int
 	progress     func(string)
 	cache        *artifact.Cache
+	remote       *artifact.Remote
 	verify       bool
 	stageTimeout time.Duration
 	retryMax     int
@@ -117,6 +118,18 @@ func WithCache(dir string) Option {
 		}
 		r.cache = artifact.Open(dir)
 	}
+}
+
+// WithRemoteStore attaches a remote artifact store as a second cache
+// tier (see artifact.Cache.SetRemote): local misses fall through to a
+// checksum-verified remote fetch, and every Put is pushed through to the
+// store so stages computed on this node are visible to every node sharing
+// it. This is how the distributed sweep fabric (internal/fabric) gets the
+// paper's one-profile-per-workload economy across machines. Requires
+// WithCache (the local tier is the read-through cache); without a cache
+// the remote is ignored.
+func WithRemoteStore(remote *artifact.Remote) Option {
+	return func(r *Runner) { r.remote = remote }
 }
 
 // WithCacheVerify makes every cache hit recompute the stage and
@@ -208,6 +221,7 @@ func New(fc FlowConfig, opts ...Option) *Runner {
 	if r.cache != nil {
 		r.cache.SetMetrics(r.reg)
 		r.cache.SetFaultInjector(r.inj)
+		r.cache.SetRemote(r.remote)
 	}
 	r.inj.SetMetrics(r.reg)
 	return r

@@ -236,7 +236,7 @@ func TestUtilizationFinite(t *testing.T) {
 		want       float64
 	}{
 		{0, 0, 0},
-		{5, 0, 0},      // instant sweep: busy recorded, wall rounded to 0
+		{5, 0, 0}, // instant sweep: busy recorded, wall rounded to 0
 		{0, 100, 0},
 		{-1, -1, 0},
 		{50, 100, 0.5},

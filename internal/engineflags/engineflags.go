@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
@@ -43,6 +44,7 @@ type Flags struct {
 	StageTimeout time.Duration
 	Chaos        string
 	Jobs         int
+	RemoteStore  string
 
 	MetricsMode string // "", "text", "json" (set only if RegisterMetrics)
 	MetricsOut  string
@@ -68,6 +70,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.StageTimeout, "stage-timeout", 0, "watchdog deadline per pipeline stage (0 = none)")
 	fs.StringVar(&f.Chaos, "chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 7:core.measure/sha/*=error (see internal/faultinject)")
 	fs.IntVar(&f.Jobs, "j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
+	fs.StringVar(&f.RemoteStore, "remote-store", "", "base URL of a remote artifact store used as a read-through tier over -cache")
 	return f
 }
 
@@ -104,6 +107,9 @@ func (f *Flags) Validate() error {
 		if f.Resume {
 			return fmt.Errorf("-resume requires -cache DIR (the journal lives there)")
 		}
+		if f.RemoteStore != "" {
+			return fmt.Errorf("-remote-store requires -cache DIR (the local read-through tier)")
+		}
 	}
 	if f.Chaos != "" {
 		inj, err := faultinject.Parse(f.Chaos)
@@ -136,6 +142,9 @@ func (f *Flags) Options() ([]core.Option, error) {
 	}
 	if f.CacheDir != "" {
 		opts = append(opts, core.WithCache(f.CacheDir), core.WithCacheVerify(f.CacheVerify))
+	}
+	if f.RemoteStore != "" {
+		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(f.RemoteStore, nil)))
 	}
 	if f.KeepGoing {
 		opts = append(opts, core.WithKeepGoing(true))

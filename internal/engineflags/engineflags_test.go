@@ -37,6 +37,7 @@ func TestValidateRejections(t *testing.T) {
 		{[]string{"-resume"}, "-resume requires -cache"},
 		{[]string{"-chaos", "not-a-plan"}, "-chaos"},
 		{[]string{"-metrics", "xml"}, "-metrics"},
+		{[]string{"-remote-store", "http://store:9000"}, "-remote-store requires -cache"},
 	}
 	for _, tc := range cases {
 		f := parse(t, tc.args...)
@@ -75,15 +76,16 @@ func TestOptionsBuilt(t *testing.T) {
 	f := parse(t,
 		"-j", "2", "-cache", t.TempDir(), "-cache-verify", "-resume",
 		"-retries", "3", "-keep-going", "-stage-timeout", "5s",
-		"-chaos", "7:core.measure/sha/*=error")
+		"-chaos", "7:core.measure/sha/*=error",
+		"-remote-store", "http://store:9000")
 	opts, err := f.Options()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// parallelism, cache, cache-verify, keep-going, resume, retry,
-	// stage-timeout, fault injector
-	if len(opts) != 8 {
-		t.Errorf("built %d options, want 8", len(opts))
+	// stage-timeout, fault injector, remote store
+	if len(opts) != 9 {
+		t.Errorf("built %d options, want 9", len(opts))
 	}
 }
 

@@ -1,0 +1,512 @@
+// Package fabric is the distributed sweep plane: a coordinator that
+// shards a campaign's (workload × config) cells across registered
+// workers, and the worker loop that leases cells, executes them with the
+// ordinary core.Runner, and reports canonical result bytes back.
+//
+// The design leans entirely on the determinism the rest of the codebase
+// already guarantees. Every cell is an isolated, bit-reproducible
+// computation keyed by the campaign fingerprint, so the coordinator never
+// has to arbitrate between results: a stolen cell finished twice produced
+// identical bytes both times, a resumed campaign replays journal
+// fragments instead of recomputing, and the merged Sweep encodes — via
+// the same wall-clock-free serve.EncodeSweep — byte-identically to a
+// single-node Runner.Sweep of the same campaign.
+//
+// Scheduling is a pull model with leases:
+//
+//   - Workers POST /v1/fabric/poll; the coordinator grants the first
+//     runnable cell (profile cells first; measure cells gate on their
+//     workload's profile cell) under a lease with a deadline.
+//   - Workers heartbeat while executing; a heartbeat renews the lease. A
+//     worker that dies, hangs, or partitions simply stops heartbeating,
+//     the lease expires, and the next poll steals the cell back
+//     ("fabric.cells_stolen") — node death degrades to extra latency,
+//     never to a lost or wrong cell.
+//   - Completed measure cells ship their canonical measure-artifact
+//     payload in the done report; profile cells publish their artifacts
+//     through the remote store (internal/artifact) instead, so every
+//     other worker's measure cells fetch the one profile chain rather
+//     than recomputing it — the paper's shared-stage economy, across
+//     machines.
+//
+// Chaos sites: "fabric.lease/<worker>" fails a poll (the worker backs
+// off and retries), and the artifact tier's "artifact.fetch/<stage>"
+// exercises the fetch-verify-evict path. Both are deterministic under
+// internal/faultinject seeds.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// Config carries the coordinator's knobs. The zero value is usable: no
+// store, no journal, 15s leases.
+type Config struct {
+	// Store, when set, is served as the cluster's remote artifact store at
+	// /v1/artifacts/ (see artifact.NewServer). Point it at the same
+	// directory as the local runner's cache so locally-computed and
+	// worker-pushed artifacts pool together.
+	Store *artifact.Cache
+	// Registry collects fabric metrics (cells_done, cells_stolen,
+	// workers, per-worker counters). Nil disables instrumentation.
+	Registry *metrics.Registry
+	// Lease is how long a granted cell stays owned without a heartbeat
+	// before it is stolen back (default 15s).
+	Lease time.Duration
+	// Poll is the idle backoff hint returned to workers when no cell is
+	// runnable (default 250ms).
+	Poll time.Duration
+	// MaxAttempts bounds how many times a cell that *reports* failure is
+	// regranted before it is marked failed (default 3). Lease expiries are
+	// not failures and do not count.
+	MaxAttempts int
+	// KeepGoing mirrors core.WithKeepGoing: failed cells are collected
+	// into a *core.SweepErrors next to the partial Sweep instead of
+	// aborting the campaign.
+	KeepGoing bool
+	// Resume replays this campaign's journal fragment under JournalDir:
+	// cells recorded done are served from the fragment, not recomputed.
+	Resume bool
+	// JournalDir, when set, holds the coordinator's per-campaign journal
+	// fragments (conventionally the cache directory).
+	JournalDir string
+	// Injector arms the "fabric.lease/<worker>" chaos site.
+	Injector *faultinject.Injector
+	// Log receives one line per lifecycle event (nil = silent).
+	Log func(format string, args ...interface{})
+}
+
+// Coordinator owns the cell scheduler and the fabric's HTTP surface.
+// Create with NewCoordinator; campaigns enter through RunCampaign (the
+// serve.Config.Distribute hook) and workers through Handler.
+type Coordinator struct {
+	cfg Config
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	runs     map[string]*run
+	runOrder []string
+	seq      uint64
+	drain    func() bool
+}
+
+type workerState struct {
+	id        string
+	lastSeen  time.Time
+	cellsDone int64
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+	cellFailed
+)
+
+// cell is one schedulable unit's authoritative state, guarded by
+// Coordinator.mu.
+type cell struct {
+	task     Task
+	state    cellState
+	worker   string    // lease owner while leased
+	deadline time.Time // lease expiry while leased
+	attempts int       // failure reports consumed (steals don't count)
+	requires string    // gating cell label ("" = none)
+	payload  []byte    // canonical measure bytes once done
+	errMsg   string    // terminal failure message
+}
+
+// run is one campaign in flight.
+type run struct {
+	id        string
+	camp      core.Campaign
+	spec      []byte // campaignWire JSON served to workers
+	cells     map[string]*cell
+	order     []string // deterministic scheduling/assembly order
+	remaining int      // cells not yet terminal (done/failed)
+	frag      *fragmentWriter
+	failErr   error // first fatal error (fail-fast mode)
+	finished  bool
+	done      chan struct{}
+}
+
+// NewCoordinator builds a coordinator and its HTTP routes.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.Lease <= 0 {
+		cfg.Lease = 15 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		workers: map[string]*workerState{},
+		runs:    map[string]*run{},
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/fabric/workers", c.handleRegister)
+	c.mux.HandleFunc("POST /v1/fabric/poll", c.handlePoll)
+	c.mux.HandleFunc("POST /v1/fabric/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/fabric/done", c.handleDone)
+	c.mux.HandleFunc("GET /v1/fabric/status", c.handleStatus)
+	c.mux.HandleFunc("GET /v1/fabric/campaigns/{id}", c.handleCampaign)
+	if cfg.Store != nil {
+		c.mux.Handle("/v1/artifacts/", artifact.NewServer(cfg.Store))
+	}
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler. It serves everything
+// under /v1/fabric/ plus — with a Store — the remote artifact store under
+// /v1/artifacts/; mount both prefixes on the daemon's mux.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// SetDrainCheck installs the liveness gate for /v1/fabric/status: while
+// fn reports true the endpoint answers 503 + Retry-After instead of a
+// status body (cmd/boomd wires the serve.Server's Draining here).
+func (c *Coordinator) SetDrainCheck(fn func() bool) {
+	c.mu.Lock()
+	c.drain = fn
+	c.mu.Unlock()
+}
+
+// LiveWorkers counts workers seen within the liveness window (three
+// lease intervals).
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked(time.Now())
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= 3*c.cfg.Lease {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(format, args...)
+	}
+}
+
+func (c *Coordinator) count(name string) {
+	if c.reg != nil {
+		c.reg.Counter(name).Inc()
+	}
+}
+
+// RunCampaign distributes one campaign across the registered workers and
+// blocks until every cell is terminal (or ctx is canceled). It has the
+// exact signature of serve.Config.Distribute. With no live workers the
+// campaign runs on the local Runner instead — a coordinator with an empty
+// cluster degrades to a single node, byte-identically. Error semantics
+// mirror Runner.Sweep: fail-fast returns (nil, err) on the first
+// exhausted cell; KeepGoing returns the partial Sweep together with a
+// *core.SweepErrors.
+func (c *Coordinator) RunCampaign(ctx context.Context, id string, camp core.Campaign, local *core.Runner) (*core.Sweep, error) {
+	if c.LiveWorkers() == 0 && local != nil {
+		c.count("fabric.local_fallback")
+		c.logf("campaign %s: no live workers, running locally", short(id))
+		return local.Sweep(ctx, camp)
+	}
+	r, err := c.admit(id, camp)
+	if err != nil {
+		return nil, err
+	}
+	defer c.retire(id)
+	c.logf("campaign %s: %d cell(s) across %d live worker(s)",
+		short(id), len(r.order), c.LiveWorkers())
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return c.assemble(r)
+}
+
+// admit builds the cell graph for one campaign, replays a matching
+// journal fragment under Resume, and registers the run with the
+// scheduler.
+func (c *Coordinator) admit(id string, camp core.Campaign) (*run, error) {
+	if err := camp.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := json.Marshal(encodeCampaign(camp))
+	if err != nil {
+		return nil, err
+	}
+	r := &run{
+		id:    id,
+		camp:  camp,
+		spec:  spec,
+		cells: map[string]*cell{},
+		done:  make(chan struct{}),
+	}
+	for _, wl := range camp.Workloads {
+		t := Task{Campaign: id, Kind: taskProfile, Workload: wl}
+		r.cells[t.Label()] = &cell{task: t}
+		r.order = append(r.order, t.Label())
+	}
+	for _, cfg := range camp.Configs {
+		for _, wl := range camp.Workloads {
+			t := Task{Campaign: id, Kind: taskMeasure, Workload: wl, Config: cfg.Name}
+			r.cells[t.Label()] = &cell{task: t, requires: taskProfile + "/" + wl}
+			r.order = append(r.order, t.Label())
+		}
+	}
+	r.remaining = len(r.order)
+
+	resumed := 0
+	if c.cfg.Resume && c.cfg.JournalDir != "" {
+		for label, payload := range MergeJournals(id, FragmentPath(c.cfg.JournalDir, id)) {
+			cl := r.cells[label]
+			if cl == nil || cl.state != cellPending {
+				continue
+			}
+			if cl.task.Kind == taskMeasure && len(payload) == 0 {
+				continue // a measure cell without its payload is not done
+			}
+			cl.state = cellDone
+			cl.payload = payload
+			r.remaining--
+			resumed++
+		}
+		if resumed > 0 {
+			if c.reg != nil {
+				c.reg.Counter("fabric.cells_resumed").Add(int64(resumed))
+			}
+			c.logf("campaign %s: resumed %d cell(s) from journal fragment", short(id), resumed)
+		}
+	}
+	if c.cfg.JournalDir != "" {
+		r.frag = openFragment(FragmentPath(c.cfg.JournalDir, id), id, resumed > 0, c.cfg.Log)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.runs[id] != nil {
+		r.frag.Close()
+		return nil, fmt.Errorf("fabric: campaign %s already running", short(id))
+	}
+	c.runs[id] = r
+	c.runOrder = append(c.runOrder, id)
+	if r.remaining == 0 {
+		c.finishLocked(r)
+	}
+	return r, nil
+}
+
+// retire removes a finished (or abandoned) run from the scheduler. Late
+// reports for a retired campaign are acknowledged and dropped — the
+// journal fragment already has everything that completed.
+func (c *Coordinator) retire(id string) {
+	c.mu.Lock()
+	r := c.runs[id]
+	delete(c.runs, id)
+	for i, rid := range c.runOrder {
+		if rid == id {
+			c.runOrder = append(c.runOrder[:i], c.runOrder[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	if r != nil {
+		r.frag.Close()
+	}
+}
+
+// nextTask grants the first runnable cell to worker, stamping a fresh
+// lease. Expired leases across every run are reclaimed first, so a
+// stalled worker's cells become grantable the moment anyone polls.
+func (c *Coordinator) nextTask(worker string) *Task {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeasesLocked(now)
+	for _, rid := range c.runOrder {
+		r := c.runs[rid]
+		if r.finished {
+			continue
+		}
+		for _, label := range r.order {
+			cl := r.cells[label]
+			if cl.state != cellPending {
+				continue
+			}
+			if cl.requires != "" {
+				switch req := r.cells[cl.requires]; req.state {
+				case cellDone:
+					// runnable
+				case cellFailed:
+					c.failCellLocked(r, cl, fmt.Sprintf("dependency %s failed", cl.requires))
+					continue
+				default:
+					continue // profile still pending or in flight
+				}
+			}
+			c.seq++
+			cl.state = cellLeased
+			cl.worker = worker
+			cl.deadline = now.Add(c.cfg.Lease)
+			cl.task.Seq = c.seq
+			t := cl.task
+			c.count("fabric.cells_leased")
+			return &t
+		}
+	}
+	return nil
+}
+
+// expireLeasesLocked steals cells back from workers whose lease lapsed.
+func (c *Coordinator) expireLeasesLocked(now time.Time) {
+	for _, rid := range c.runOrder {
+		r := c.runs[rid]
+		if r.finished {
+			continue
+		}
+		for _, label := range r.order {
+			cl := r.cells[label]
+			if cl.state == cellLeased && now.After(cl.deadline) {
+				c.logf("campaign %s: stealing %s from silent worker %s",
+					short(r.id), label, cl.worker)
+				cl.state = cellPending
+				cl.worker = ""
+				c.count("fabric.cells_stolen")
+			}
+		}
+	}
+}
+
+// failCellLocked marks a cell terminally failed and cascades to pending
+// dependents (a measure cell can never run without its profile).
+func (c *Coordinator) failCellLocked(r *run, cl *cell, msg string) {
+	cl.state = cellFailed
+	cl.errMsg = msg
+	cl.worker = ""
+	r.remaining--
+	c.count("fabric.cells_failed")
+	if cl.task.Kind == taskProfile {
+		for _, label := range r.order {
+			dep := r.cells[label]
+			if dep.state == cellPending && dep.requires == cl.task.Label() {
+				dep.state = cellFailed
+				dep.errMsg = fmt.Sprintf("dependency %s failed", cl.task.Label())
+				r.remaining--
+				c.count("fabric.cells_failed")
+			}
+		}
+	}
+	if !c.cfg.KeepGoing && r.failErr == nil {
+		r.failErr = fmt.Errorf("fabric: cell %s failed after %d attempt(s): %s",
+			cl.task.Label(), cl.attempts, msg)
+		c.finishLocked(r)
+		return
+	}
+	if r.remaining == 0 {
+		c.finishLocked(r)
+	}
+}
+
+func (c *Coordinator) finishLocked(r *run) {
+	if !r.finished {
+		r.finished = true
+		close(r.done)
+	}
+}
+
+// assemble merges a finished run's cells into the Sweep a single node
+// would have produced. Profiles are intentionally absent (the encoding
+// never consumes them — DESIGN §12's wall-clock-free contract); Results
+// decode from each measure cell's canonical payload, which IS the bytes
+// the measure artifact holds, so the merge cannot introduce drift.
+func (c *Coordinator) assemble(r *run) (*core.Sweep, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := &core.Sweep{
+		Flow:        core.FlowConfigFor(r.camp.Scale),
+		Scale:       r.camp.Scale,
+		Names:       append([]string(nil), r.camp.Workloads...),
+		ConfigNames: r.camp.ConfigNames(),
+		Profiles:    map[string]*core.Profile{},
+		Results:     map[string]map[string]*core.Result{},
+	}
+	for _, name := range sw.ConfigNames {
+		sw.Results[name] = map[string]*core.Result{}
+	}
+	var errs []error
+	for _, label := range r.order {
+		cl := r.cells[label]
+		switch cl.state {
+		case cellDone:
+			if cl.task.Kind != taskMeasure {
+				continue
+			}
+			res := &core.Result{
+				Workload:   cl.task.Workload,
+				ConfigName: cl.task.Config,
+				Mode:       "simpoint",
+			}
+			if err := core.DecodeMeasuredResult(cl.payload, res); err != nil {
+				errs = append(errs, fmt.Errorf("fabric: decoding %s: %w", label, err))
+				continue
+			}
+			sw.Results[cl.task.Config][cl.task.Workload] = res
+		case cellFailed:
+			errs = append(errs, fmt.Errorf("fabric: cell %s: %s", label, cl.errMsg))
+		}
+	}
+	if r.failErr != nil && !c.cfg.KeepGoing {
+		return nil, r.failErr
+	}
+	if len(errs) > 0 {
+		return sw, &core.SweepErrors{Errs: errs}
+	}
+	return sw, nil
+}
+
+// short abbreviates a campaign fingerprint for log lines.
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// sortedWorkersLocked snapshots worker rows for the status endpoint.
+func (c *Coordinator) sortedWorkersLocked(now time.Time) []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerStatus{
+			ID:         w.id,
+			Live:       now.Sub(w.lastSeen) <= 3*c.cfg.Lease,
+			CellsDone:  w.cellsDone,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

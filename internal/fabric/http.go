@@ -1,0 +1,250 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The coordinator's HTTP surface. Four worker-facing POST endpoints
+// (register, poll, heartbeat, done), an operator status endpoint that
+// answers 503 + Retry-After while the node drains, and the campaign-spec
+// fetch workers use to reconstruct the exact design points they measure.
+
+const maxBody = 1 << 26 // 64 MiB: comfortably above any measure payload
+
+func (c *Coordinator) readJSON(w http.ResponseWriter, req *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBody))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// touchWorker upserts the worker's liveness row; register reports whether
+// this was an explicit registration (logged and gauged) rather than a
+// side effect of polling.
+func (c *Coordinator) touchWorker(id string, register bool) {
+	now := time.Now()
+	c.mu.Lock()
+	w := c.workers[id]
+	fresh := w == nil
+	if fresh {
+		w = &workerState{id: id}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	c.mu.Unlock()
+	if fresh {
+		if c.reg != nil {
+			c.reg.Gauge("fabric.workers").Add(1)
+		}
+		if register {
+			c.logf("worker %s registered", id)
+		} else {
+			c.logf("worker %s appeared (poll without register)", id)
+		}
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var body registerRequest
+	if !c.readJSON(w, req, &body) {
+		return
+	}
+	if body.Worker == "" {
+		httpError(w, http.StatusBadRequest, "worker id required")
+		return
+	}
+	c.touchWorker(body.Worker, true)
+	writeJSON(w, registerResponse{
+		LeaseMS: c.cfg.Lease.Milliseconds(),
+		PollMS:  c.cfg.Poll.Milliseconds(),
+		Store:   c.cfg.Store != nil,
+	})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, req *http.Request) {
+	var body pollRequest
+	if !c.readJSON(w, req, &body) {
+		return
+	}
+	if body.Worker == "" {
+		httpError(w, http.StatusBadRequest, "worker id required")
+		return
+	}
+	c.touchWorker(body.Worker, false)
+	// Chaos site: a failed lease grant. The worker treats it like any
+	// transient coordinator error — back off and poll again — so the
+	// campaign completes (byte-identically) despite the faults.
+	if err := c.cfg.Injector.Hit("fabric.lease", body.Worker); err != nil {
+		c.count("fabric.lease_faults")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if t := c.nextTask(body.Worker); t != nil {
+		writeJSON(w, pollResponse{Task: t})
+		return
+	}
+	writeJSON(w, pollResponse{WaitMS: c.cfg.Poll.Milliseconds()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var body heartbeatRequest
+	if !c.readJSON(w, req, &body) {
+		return
+	}
+	c.touchWorker(body.Worker, false)
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.runs[body.Task.Campaign]
+	if r == nil {
+		writeJSON(w, heartbeatResponse{Lost: true})
+		return
+	}
+	cl := r.cells[body.Task.Label()]
+	if cl == nil || cl.state != cellLeased || cl.worker != body.Worker || cl.task.Seq != body.Task.Seq {
+		// Stolen and possibly regranted under a newer Seq — or already
+		// reported. Either way this worker's lease is gone.
+		writeJSON(w, heartbeatResponse{Lost: true})
+		return
+	}
+	cl.deadline = now.Add(c.cfg.Lease)
+	writeJSON(w, heartbeatResponse{})
+}
+
+func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
+	var body doneRequest
+	if !c.readJSON(w, req, &body) {
+		return
+	}
+	c.touchWorker(body.Worker, false)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.runs[body.Task.Campaign]
+	if r == nil {
+		// Retired campaign: a straggler finishing after completion. Its
+		// bytes are identical to the ones already merged, so acknowledge
+		// and drop.
+		writeJSON(w, doneResponse{OK: true})
+		return
+	}
+	label := body.Task.Label()
+	cl := r.cells[label]
+	if cl == nil {
+		httpError(w, http.StatusBadRequest, "unknown cell "+label)
+		return
+	}
+	if cl.state == cellDone || cl.state == cellFailed {
+		// Duplicate report — the slow half of a stolen cell arriving after
+		// the fast half. First fingerprint wins, silently; determinism
+		// makes the two byte-identical.
+		c.count("fabric.duplicate_results")
+		writeJSON(w, doneResponse{OK: true})
+		return
+	}
+	if !body.OK {
+		cl.attempts++
+		c.logf("campaign %s: %s failed on %s (attempt %d/%d): %s",
+			short(r.id), label, body.Worker, cl.attempts, c.cfg.MaxAttempts, body.Error)
+		if cl.attempts < c.cfg.MaxAttempts {
+			cl.state = cellPending
+			cl.worker = ""
+			c.count("fabric.cells_requeued")
+		} else {
+			c.failCellLocked(r, cl, body.Error)
+		}
+		writeJSON(w, doneResponse{OK: true})
+		return
+	}
+	cl.state = cellDone
+	cl.worker = ""
+	cl.payload = body.Payload
+	r.remaining--
+	c.count("fabric.cells_done")
+	if c.reg != nil {
+		c.reg.Counter("fabric.cells_done." + body.Worker).Inc()
+	}
+	if ws := c.workers[body.Worker]; ws != nil {
+		ws.cellsDone++
+	}
+	r.frag.appendCell(label, body.Payload)
+	if r.remaining == 0 {
+		c.finishLocked(r)
+	}
+	writeJSON(w, doneResponse{OK: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, req *http.Request) {
+	c.mu.Lock()
+	drain := c.drain
+	c.mu.Unlock()
+	if drain != nil && drain() {
+		// The same typed rejection submit gives while shutting down: a
+		// Retry-After so clients (boomctl status) can distinguish "node
+		// draining, ask again" from a dead endpoint.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDrainSecs))
+		httpError(w, http.StatusServiceUnavailable, "coordinator is draining; retry later")
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	reply := StatusReply{
+		Workers:   c.sortedWorkersLocked(now),
+		Campaigns: make([]CampaignStatus, 0, len(c.runOrder)),
+	}
+	for _, rid := range c.runOrder {
+		r := c.runs[rid]
+		cs := CampaignStatus{ID: r.id}
+		for _, label := range r.order {
+			switch r.cells[label].state {
+			case cellPending:
+				cs.Pending++
+			case cellLeased:
+				cs.Leased++
+			case cellDone:
+				cs.Done++
+			case cellFailed:
+				cs.Failed++
+			}
+		}
+		reply.Campaigns = append(reply.Campaigns, cs)
+	}
+	c.mu.Unlock()
+	writeJSON(w, reply)
+}
+
+// retryAfterDrainSecs is the Retry-After hint on drain rejections,
+// matching serve's submit-path value.
+const retryAfterDrainSecs = 5
+
+func (c *Coordinator) handleCampaign(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	c.mu.Lock()
+	var spec []byte
+	if r := c.runs[id]; r != nil {
+		spec = r.spec
+	}
+	c.mu.Unlock()
+	if spec == nil {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(spec)
+}

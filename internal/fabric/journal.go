@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Fabric journal fragments: the distributed analogue of the single-node
+// sweep journal (internal/core). Every node — the coordinator as cells
+// are reported done, each worker as it finishes cells locally — appends
+// completed cells to its own per-campaign fragment file, one JSON object
+// per line. Fragments are WALs in the same dialect as the sweep journal:
+// a header record pins the campaign fingerprint so a fragment is never
+// merged into a foreign campaign, records are flushed per line so a
+// killed node loses at most the line being written, and torn trailing
+// lines are skipped on read.
+//
+// MergeJournals is the recovery path: a restarted coordinator (or an
+// operator gathering fragments off dead workers' disks) merges any number
+// of fragments into one done-set. Duplicate cells across fragments —
+// e.g. a cell a slow worker finished after its lease was stolen and a
+// second worker finished too — resolve silently to the first occurrence:
+// results are deterministic functions of the campaign fingerprint, so in
+// a healthy cluster duplicates are byte-identical and the choice is
+// unobservable.
+
+// fragmentRecord is one JSONL line of a fragment.
+type fragmentRecord struct {
+	Ev   string `json:"ev"`             // "fabric" (header) | "cell"
+	ID   string `json:"id,omitempty"`   // campaign fingerprint (header only)
+	Task string `json:"task,omitempty"` // cell label, e.g. "measure/MegaBOOM/sha"
+	// Payload carries the canonical measure bytes (base64 via
+	// encoding/json); profile cells journal with no payload.
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// FragmentPath returns the journal fragment location for one campaign
+// under a node's cache/journal directory.
+func FragmentPath(dir, campaignID string) string {
+	short := campaignID
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return filepath.Join(dir, "fabric-"+short+".journal")
+}
+
+// fragmentWriter is an append-only fragment WAL. Like the sweep journal,
+// a write error disables the writer rather than risking a torn record
+// being half-trusted later: the failure mode is "no fragment" (resume
+// reruns those cells), never a plausible-but-wrong one. A nil
+// *fragmentWriter is inert.
+type fragmentWriter struct {
+	mu       sync.Mutex
+	f        *os.File
+	disabled bool
+	warn     func(format string, args ...interface{})
+}
+
+// openFragment opens (or creates) the fragment at path for campaignID.
+// With extend=true — the caller already recovered cells from it and the
+// header matched — the file is appended to; otherwise it is truncated and
+// a fresh header written and fsynced. Returns nil (journaling disabled)
+// on any open error.
+func openFragment(path, campaignID string, extend bool, warn func(string, ...interface{})) *fragmentWriter {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		if warn != nil {
+			warn("fabric journal disabled: %v", err)
+		}
+		return nil
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if extend {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if warn != nil {
+			warn("fabric journal disabled: %v", err)
+		}
+		return nil
+	}
+	w := &fragmentWriter{f: f, warn: warn}
+	if !extend {
+		w.append(fragmentRecord{Ev: "fabric", ID: campaignID}, true)
+	}
+	return w
+}
+
+func (w *fragmentWriter) appendCell(label string, payload []byte) {
+	w.append(fragmentRecord{Ev: "cell", Task: label, Payload: payload}, false)
+}
+
+func (w *fragmentWriter) append(rec fragmentRecord, sync bool) {
+	if w == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // fragmentRecord always marshals; stay inert regardless
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.disabled {
+		return
+	}
+	n, err := w.f.Write(line) // one write syscall per record: crash loses ≤1 line
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err == nil && sync {
+		err = w.f.Sync()
+	}
+	if err != nil {
+		w.disabled = true
+		if w.warn != nil {
+			w.warn("fabric journal disabled after write error (a restart will rerun unjournaled cells): %v", err)
+		}
+	}
+}
+
+func (w *fragmentWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// MergeJournals merges any number of fragment files into the union of
+// completed cells for campaign wantID, keyed by cell label; measure cells
+// map to their canonical payload bytes, profile cells to nil (look the
+// label up with the two-result comma form to distinguish "done profile"
+// from "absent"). Fragments whose header names a different campaign are
+// ignored whole; missing files, torn trailing lines and unparseable
+// records are skipped. On a duplicate label the first occurrence — in
+// path order, then file order — wins silently.
+func MergeJournals(wantID string, paths ...string) map[string][]byte {
+	cells := map[string][]byte{}
+	for _, p := range paths {
+		mergeFragment(cells, p, wantID)
+	}
+	return cells
+}
+
+func mergeFragment(cells map[string][]byte, path, wantID string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	first := true
+	for sc.Scan() {
+		var rec fragmentRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn write from a crash: ignore the fragment line
+		}
+		if first {
+			if rec.Ev != "fabric" || rec.ID != wantID {
+				return // foreign campaign: never merge
+			}
+			first = false
+			continue
+		}
+		if rec.Ev != "cell" || rec.Task == "" {
+			continue
+		}
+		if _, dup := cells[rec.Task]; dup {
+			continue // first fingerprint wins silently
+		}
+		cells[rec.Task] = rec.Payload
+	}
+}

@@ -1,0 +1,437 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// WorkerConfig carries one worker's knobs; only Coordinator is required.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("host:port" is promoted
+	// to "http://host:port").
+	Coordinator string
+	// ID names the worker in leases, logs, and status ("worker-<pid>" when
+	// empty). IDs must be unique per cluster.
+	ID string
+	// CacheDir is the worker's local artifact cache (a temp dir when
+	// empty). With the coordinator serving a remote store, this is the
+	// read-through first tier over it.
+	CacheDir string
+	// Registry collects the worker's pipeline + fabric metrics.
+	Registry *metrics.Registry
+	// Injector arms the worker-side chaos sites (artifact.fetch, the core
+	// pipeline sites).
+	Injector *faultinject.Injector
+	// HTTPClient overrides the default client (tests).
+	HTTPClient *http.Client
+	// Log receives one line per lifecycle event (nil = silent).
+	Log func(format string, args ...interface{})
+	// TaskHook, when set, observes each granted task before execution
+	// (tests use it to kill a worker mid-campaign deterministically).
+	TaskHook func(Task)
+}
+
+// Worker is the execution side of the fabric: it registers with a
+// coordinator, polls for cells, runs them with an ordinary core.Runner
+// (local cache over the cluster's remote artifact store), and reports
+// canonical result bytes back. Create with NewWorker, drive with Run.
+type Worker struct {
+	cfg  WorkerConfig
+	base string
+	hc   *http.Client
+
+	leaseMS int64
+	pollMS  int64
+	store   bool
+
+	mu      sync.Mutex
+	runners map[string]*core.Runner    // per-campaign, keyed by fingerprint
+	camps   map[string]core.Campaign   // decoded campaign specs, same keys
+	frags   map[string]*fragmentWriter // per-campaign journal fragments
+}
+
+// NewWorker validates the config and fills defaults.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fabric: worker needs a coordinator address")
+	}
+	base := strings.TrimRight(cfg.Coordinator, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if cfg.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "boom-worker-*")
+		if err != nil {
+			return nil, fmt.Errorf("fabric: worker cache dir: %w", err)
+		}
+		cfg.CacheDir = dir
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Worker{cfg: cfg, base: base, hc: hc, runners: map[string]*core.Runner{}}, nil
+}
+
+// ID returns the worker's cluster identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.cfg.Log != nil {
+		w.cfg.Log(format, args...)
+	}
+}
+
+func (w *Worker) count(name string) {
+	if w.cfg.Registry != nil {
+		w.cfg.Registry.Counter(name).Inc()
+	}
+}
+
+// post sends one JSON round trip to a coordinator endpoint.
+func (w *Worker) post(ctx context.Context, path string, body, reply interface{}) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("fabric: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if reply != nil {
+		return json.Unmarshal(raw, reply)
+	}
+	return nil
+}
+
+// Run is the worker's main loop: register (with retry — the coordinator
+// may come up after the worker), then poll/execute/report until ctx is
+// canceled. Run only returns ctx.Err(); transient coordinator errors are
+// absorbed by backoff.
+func (w *Worker) Run(ctx context.Context) error {
+	defer func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		for _, f := range w.frags {
+			f.Close()
+		}
+	}()
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.logf("worker %s: registered with %s (lease %dms, store=%v)",
+		w.cfg.ID, w.base, w.leaseMS, w.store)
+	idle := time.Duration(w.pollMS) * time.Millisecond
+	if idle <= 0 {
+		idle = 250 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var pr pollResponse
+		if err := w.post(ctx, "/v1/fabric/poll", pollRequest{Worker: w.cfg.ID}, &pr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.count("fabric.poll_errors")
+			if !sleepCtx(ctx, idle) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if pr.Task == nil {
+			wait := idle
+			if pr.WaitMS > 0 {
+				wait = time.Duration(pr.WaitMS) * time.Millisecond
+			}
+			if !sleepCtx(ctx, wait) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.execute(ctx, *pr.Task)
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		var rr registerResponse
+		err := w.post(ctx, "/v1/fabric/workers", registerRequest{Worker: w.cfg.ID}, &rr)
+		if err == nil {
+			w.leaseMS, w.pollMS, w.store = rr.LeaseMS, rr.PollMS, rr.Store
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= 20 {
+			return fmt.Errorf("fabric: worker %s could not register with %s: %w", w.cfg.ID, w.base, err)
+		}
+		if !sleepCtx(ctx, 250*time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+}
+
+// execute runs one leased cell end to end: hook, heartbeat loop, task
+// body, done report. A lost lease (stolen while we ran) abandons the cell
+// without reporting — the thief's bytes are identical anyway.
+func (w *Worker) execute(ctx context.Context, t Task) {
+	if w.cfg.TaskHook != nil {
+		w.cfg.TaskHook(t)
+	}
+	if ctx.Err() != nil {
+		return // killed between grant and execution: lease expires, cell is stolen
+	}
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	lease := time.Duration(w.leaseMS) * time.Millisecond
+	if lease <= 0 {
+		lease = 15 * time.Second
+	}
+	var lost bool
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(lease / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tctx.Done():
+				return
+			case <-tick.C:
+				var hr heartbeatResponse
+				err := w.post(tctx, "/v1/fabric/heartbeat", heartbeatRequest{Worker: w.cfg.ID, Task: t}, &hr)
+				if err == nil && hr.Lost {
+					lost = true
+					w.count("fabric.leases_lost")
+					cancel() // stop burning cycles on a cell someone else owns
+					return
+				}
+			}
+		}
+	}()
+
+	payload, err := w.runTask(tctx, t)
+	cancel()
+	hbWG.Wait()
+	if lost {
+		w.logf("worker %s: lease lost on %s, abandoning", w.cfg.ID, t.Label())
+		return
+	}
+	if ctx.Err() != nil {
+		return // shutdown mid-cell: don't report, let the lease expire
+	}
+
+	if err == nil {
+		// The worker's own journal fragment: if this node dies before (or
+		// while) reporting, an operator can still gather the fragment and
+		// MergeJournals it into the coordinator's — the cell's canonical
+		// bytes are not lost with the report.
+		w.fragmentFor(t.Campaign).appendCell(t.Label(), payload)
+	}
+	done := doneRequest{Worker: w.cfg.ID, Task: t, OK: err == nil, Payload: payload}
+	if err != nil {
+		done.Error = err.Error()
+		w.count("fabric.cells_errored")
+		w.logf("worker %s: %s failed: %v", w.cfg.ID, t.Label(), err)
+	} else {
+		w.count("fabric.cells_completed")
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		var dr doneResponse
+		if rerr := w.post(ctx, "/v1/fabric/done", done, &dr); rerr == nil {
+			return
+		}
+		if !sleepCtx(ctx, 200*time.Millisecond) {
+			return
+		}
+	}
+	w.logf("worker %s: could not report %s; lease will expire", w.cfg.ID, t.Label())
+}
+
+// runTask executes one cell body, converting panics (chaos drills, model
+// bugs) into reported errors so one poisoned cell never takes the worker
+// down.
+func (w *Worker) runTask(ctx context.Context, t Task) (payload []byte, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("fabric: panic in %s: %v", t.Label(), rec)
+		}
+	}()
+	r, camp, err := w.runner(ctx, t.Campaign)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workloads.Build(t.Workload, camp.Scale)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case taskProfile:
+		// The product is the artifact chain itself: Profile fills the local
+		// cache and — via the synchronous write-through in artifact.Cache —
+		// the cluster store, so every other worker's measure cells fetch
+		// this chain instead of recomputing it.
+		_, err := r.Profile(ctx, wl)
+		return nil, err
+	case taskMeasure:
+		for i := range camp.Configs {
+			if camp.Configs[i].Name == t.Config {
+				p, perr := r.Profile(ctx, wl) // cache/store hit: the gated profile cell ran first
+				if perr != nil {
+					return nil, perr
+				}
+				res, rerr := r.Run(ctx, p, camp.Configs[i])
+				if rerr != nil {
+					return nil, rerr
+				}
+				return core.EncodeMeasuredResult(res)
+			}
+		}
+		return nil, fmt.Errorf("fabric: campaign has no config %q", t.Config)
+	default:
+		return nil, fmt.Errorf("fabric: unknown task kind %q", t.Kind)
+	}
+}
+
+// runner returns (building on first use) the per-campaign Runner: the
+// campaign spec is fetched from the coordinator and the Runner assembled
+// exactly as a single node would, plus the remote store tier when the
+// coordinator serves one.
+func (w *Worker) runner(ctx context.Context, campaignID string) (*core.Runner, core.Campaign, error) {
+	w.mu.Lock()
+	r := w.runners[campaignID]
+	w.mu.Unlock()
+	if r != nil {
+		camp, err := w.fetchCampaign(ctx, campaignID)
+		return r, camp, err
+	}
+	camp, err := w.fetchCampaign(ctx, campaignID)
+	if err != nil {
+		return nil, core.Campaign{}, err
+	}
+	opts := []core.Option{
+		core.WithScale(camp.Scale),
+		core.WithCache(w.cfg.CacheDir),
+		core.WithMetrics(w.cfg.Registry),
+		core.WithFaultInjector(w.cfg.Injector),
+	}
+	if w.store {
+		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(w.base, w.hc)))
+	}
+	r = core.New(core.FlowConfigFor(camp.Scale), opts...)
+	w.mu.Lock()
+	if have := w.runners[campaignID]; have != nil {
+		r = have
+	} else {
+		w.runners[campaignID] = r
+	}
+	w.mu.Unlock()
+	return r, camp, nil
+}
+
+// fetchCampaign returns the decoded campaign spec, fetching it from the
+// coordinator on first use (specs are immutable per fingerprint).
+func (w *Worker) fetchCampaign(ctx context.Context, id string) (core.Campaign, error) {
+	w.mu.Lock()
+	if w.camps == nil {
+		w.camps = map[string]core.Campaign{}
+	}
+	if c, ok := w.camps[id]; ok {
+		w.mu.Unlock()
+		return c, nil
+	}
+	w.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/fabric/campaigns/"+id, nil)
+	if err != nil {
+		return core.Campaign{}, err
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return core.Campaign{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return core.Campaign{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return core.Campaign{}, fmt.Errorf("fabric: fetching campaign %s: %s", short(id), resp.Status)
+	}
+	var wire campaignWire
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		return core.Campaign{}, fmt.Errorf("fabric: campaign %s spec: %w", short(id), err)
+	}
+	camp := wire.campaign()
+	w.mu.Lock()
+	w.camps[id] = camp
+	w.mu.Unlock()
+	return camp, nil
+}
+
+// fragmentFor returns (opening on first use) the worker's journal
+// fragment for one campaign, under the worker's cache directory. An
+// existing fragment is extended — its header already names this campaign
+// because FragmentPath is campaign-scoped.
+func (w *Worker) fragmentFor(campaignID string) *fragmentWriter {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frags == nil {
+		w.frags = map[string]*fragmentWriter{}
+	}
+	if f, ok := w.frags[campaignID]; ok {
+		return f
+	}
+	path := FragmentPath(w.cfg.CacheDir, campaignID)
+	_, statErr := os.Stat(path)
+	f := openFragment(path, campaignID, statErr == nil, w.cfg.Log)
+	w.frags[campaignID] = f // nil (disabled) is cached too: stays inert
+	return f
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports whether the full sleep
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

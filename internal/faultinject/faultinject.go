@@ -11,6 +11,8 @@
 //	boom.tick/sha/MegaBOOM
 //	core.measure/dijkstra/MediumBOOM
 //	artifact.read/measure
+//	artifact.fetch/checkpoint         (remote-store fetch, internal/artifact)
+//	fabric.lease/worker-1             (cell lease grant, internal/fabric)
 //
 // Because a site names the exact (workload, config) pair it fires in, a
 // rule that targets one pair is deterministic regardless of sweep

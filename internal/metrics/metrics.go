@@ -49,6 +49,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add adjusts the gauge by d atomically (a CAS loop over the float bits),
+// so concurrent registrations and departures — the fabric's live-worker
+// level — never lose an update the way a racy Value+Set pair would.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
 // Value returns the current level.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -78,6 +78,40 @@ func TestGauge(t *testing.T) {
 	if v := g.Value(); v != 3.25 {
 		t.Fatalf("gauge %v", v)
 	}
+	g.Add(0.75)
+	if v := g.Value(); v != 4 {
+		t.Fatalf("after Add %v", v)
+	}
+	g.Add(-4)
+	if v := g.Value(); v != 0 {
+		t.Fatalf("after negative Add %v", v)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // nil-safe like every other instrument
+}
+
+// TestGaugeAddConcurrent: Add is a CAS loop, so concurrent adjustments —
+// fabric workers registering and departing — never lose an update the way
+// a racy Value+Set pair would.
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("workers")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != workers*per {
+		t.Errorf("gauge %v after concurrent adds, want %d", v, workers*per)
+	}
 }
 
 func TestSpanNesting(t *testing.T) {
@@ -207,8 +241,8 @@ func goldenRegistry() *Registry {
 	prof.Start() // 2ms
 	prof.End()   // 3ms
 	sel := flow.Child("select")
-	sel.Start() // 4ms
-	sel.End()   // 5ms
+	sel.Start()  // 4ms
+	sel.End()    // 5ms
 	prof.Start() // 6ms
 	prof.End()   // 7ms
 	flow.End()   // 8ms

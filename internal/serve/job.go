@@ -59,7 +59,16 @@ func (s *Server) runJob(j *job) {
 		shortID(j.id), len(j.camp.Workloads), len(j.camp.Configs), j.camp.Scale)
 
 	start := time.Now()
-	sw, err := j.runner.Sweep(s.baseCtx, j.camp)
+	var sw *core.Sweep
+	var err error
+	if s.cfg.Distribute != nil {
+		// Distributed plane: the fabric coordinator shards the campaign
+		// across live workers (or runs it on j.runner when none are),
+		// returning the same canonical Sweep either way.
+		sw, err = s.cfg.Distribute(s.baseCtx, j.id, j.camp, j.runner)
+	} else {
+		sw, err = j.runner.Sweep(s.baseCtx, j.camp)
+	}
 	var payload []byte
 	var encErr error
 	if sw != nil {

@@ -29,6 +29,7 @@
 //
 // Axis and override values may be JSON numbers or strings; "configs" is
 // mutually exclusive with "base"/"axes"/"config_overrides".
+//
 //	GET  /v1/sweeps/{id}        job status
 //	GET  /v1/sweeps/{id}/result canonical result JSON; ?wait=1 blocks until
 //	                            the job reaches a terminal state
@@ -51,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
@@ -99,6 +101,21 @@ type Config struct {
 	Log func(format string, args ...interface{})
 	// Progress forwards per-stage engine progress lines to Log (noisy).
 	Progress bool
+
+	// Registry, when set, replaces the server's private metrics registry —
+	// cmd/boomd shares one registry between the server and the fabric
+	// coordinator so /metrics shows both planes.
+	Registry *metrics.Registry
+	// RemoteStore is the base URL of a remote artifact store attached as a
+	// read-through tier over CacheDir (which it requires).
+	RemoteStore string
+	// Distribute, when set, replaces the direct Runner.Sweep call for each
+	// job: the fabric coordinator's RunCampaign hooks in here, sharding the
+	// campaign across registered workers (and falling back to the local
+	// runner when none are live). serve deliberately knows nothing about
+	// the fabric beyond this signature — the dependency points the other
+	// way, fabric_test imports serve to prove byte-identity.
+	Distribute func(ctx context.Context, id string, camp core.Campaign, local *core.Runner) (*core.Sweep, error)
 }
 
 // Server is the HTTP job service. Create with New, serve via Handler,
@@ -146,9 +163,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.RemoteStore != "" && cfg.CacheDir == "" {
+		return nil, fmt.Errorf("serve: RemoteStore requires CacheDir (the local read-through tier)")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:   cfg,
-		reg:   metrics.NewRegistry(),
+		reg:   reg,
 		jobs:  map[string]*job{},
 		queue: make(chan *job, cfg.QueueDepth),
 	}
@@ -340,6 +364,9 @@ func (s *Server) newRunner(c core.Campaign) (*core.Runner, error) {
 	}
 	if s.cfg.CacheDir != "" {
 		opts = append(opts, core.WithCache(s.cfg.CacheDir), core.WithCacheVerify(s.cfg.CacheVerify))
+	}
+	if s.cfg.RemoteStore != "" {
+		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(s.cfg.RemoteStore, nil)))
 	}
 	if s.cfg.Resume {
 		opts = append(opts, core.WithResume(true))

@@ -456,4 +456,73 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Chaos: "not-a-spec"}); err == nil {
 		t.Error("malformed chaos spec must be rejected at startup")
 	}
+	if _, err := New(Config{RemoteStore: "http://store:9000"}); err == nil {
+		t.Error("RemoteStore without CacheDir must be rejected")
+	}
+}
+
+// TestDistributeHook: when Config.Distribute is set, every admitted job
+// runs through it instead of the local runner, and the hook's sweep is
+// what gets encoded and served. This is the seam boomd uses to hand
+// campaigns to the fabric coordinator without serve importing it.
+func TestDistributeHook(t *testing.T) {
+	names := []string{"sha"}
+	cfgs := []boom.Config{boom.MediumBOOM()}
+	_, want := directSweepBytes(t, names, cfgs, workloads.ScaleTiny)
+
+	var calls int32
+	var gotID string
+	var gotCamp core.Campaign
+	_, ts := newTestServer(t, Config{
+		Distribute: func(ctx context.Context, id string, camp core.Campaign, local *core.Runner) (*core.Sweep, error) {
+			calls++
+			gotID, gotCamp = id, camp
+			if local == nil {
+				t.Error("Distribute must receive the job's local runner for fallback")
+			}
+			return local.Sweep(ctx, camp)
+		},
+	})
+	body := `{"workloads":["sha"],"configs":["medium"],"scale":"tiny"}`
+	resp, b := postCampaign(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	rr, rb := get(t, ts.URL+"/v1/sweeps/"+st.ID+"/result?wait=1")
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", rr.StatusCode, rb)
+	}
+	if calls != 1 {
+		t.Errorf("Distribute called %d times, want 1", calls)
+	}
+	if gotID != st.ID {
+		t.Errorf("Distribute saw id %q, job id is %q", gotID, st.ID)
+	}
+	if len(gotCamp.Workloads) != 1 || gotCamp.Workloads[0] != "sha" {
+		t.Errorf("Distribute saw campaign %+v", gotCamp)
+	}
+	if !bytes.Equal(rb, want) {
+		t.Error("distributed job bytes differ from direct sweep")
+	}
+
+	// A Distribute failure fails the job like any sweep error.
+	_, ts2 := newTestServer(t, Config{
+		Distribute: func(ctx context.Context, id string, camp core.Campaign, local *core.Runner) (*core.Sweep, error) {
+			return nil, fmt.Errorf("fabric unreachable")
+		},
+	})
+	resp, b = postCampaign(t, ts2, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if rr, rb := get(t, ts2.URL+"/v1/sweeps/"+st.ID+"/result?wait=1"); rr.StatusCode != http.StatusInternalServerError || !bytes.Contains(rb, []byte("fabric unreachable")) {
+		t.Fatalf("failed distribution served %d %s, want 500 with the cause", rr.StatusCode, rb)
+	}
 }
