@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke bench bench-smoke check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -196,6 +196,15 @@ fabric-smoke:
 	rm -rf .fabric-check
 	@echo "fabric-smoke: OK"
 
+# Fabric chaos drill: the full 11×3 conformance matrix on a 3-worker
+# in-process cluster where worker-0 corrupts every measure payload it
+# reports and every worker's network layer injects stalled polls, 5xx
+# report/heartbeat failures, and corrupted/truncated store bodies. The
+# final report must stay golden-digest-identical, worker-0 must end the
+# run quarantined by the result audit, and no cell may fail.
+fabric-chaos:
+	$(GO) test -run TestConformanceNetworkChaos -count=1 ./internal/fabric
+
 # Kernel benchmarks: measure the hot-path kernels (BOOM tick, decode,
 # stats/power accumulate, functional step) and record cycles/sec, ns/op,
 # and allocs/op per BOOM config in BENCH_kernel.json. See README
@@ -216,4 +225,4 @@ bench-smoke:
 	rm -rf .bench-check
 	@echo "bench-smoke: OK"
 
-check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke
+check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos

@@ -10,10 +10,12 @@
 // submit prints the job ID (the campaign fingerprint) on stdout; with
 // -wait it blocks until the sweep is terminal and prints the result JSON
 // instead. status with an ID reports that job; with no ID it reports the
-// fabric (registered workers, in-flight campaigns' cell accounting) — a
-// draining coordinator answers that with 503 + Retry-After, which boomctl
-// surfaces as a typed "retry after Ns" error rather than a bare failure.
-// Exit status is non-zero on any HTTP error, including a failed sweep.
+// fabric (registered workers — including any quarantined by result
+// auditing — and in-flight campaigns' cell accounting). A draining
+// coordinator answers reads with 503 + Retry-After; boomctl honors the
+// hint with a capped backoff and retries, surfacing the typed "retry
+// after Ns" error only if the node is still draining after that. Exit
+// status is non-zero on any HTTP error, including a failed sweep.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -205,17 +208,56 @@ func (c *client) result(id string, wait bool) error {
 	}
 }
 
+// drainRetries bounds how many 503 drain rejections a read is retried
+// through before the typed error is surfaced to the caller.
+const drainRetries = 5
+
+// retryDelay is how long to wait before re-asking a draining node: the
+// server's Retry-After hint when it sent a parseable one, otherwise a
+// doubling backoff from 500ms — either way capped, so a confused server
+// advertising "Retry-After: 86400" cannot park the client for a day.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	const ceiling = 15 * time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		if d := time.Duration(secs) * time.Second; d < ceiling {
+			return d
+		}
+		return ceiling
+	}
+	d := 500 * time.Millisecond
+	for i := 0; i < attempt && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		return ceiling
+	}
+	return d
+}
+
 func (c *client) get(path string) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			return err
+		}
+		// A draining node answers 503 + Retry-After ("ask again shortly"),
+		// which is a wait instruction, not a failure — honor it with a
+		// capped backoff before giving up.
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < drainRetries {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				time.Sleep(retryDelay(attempt, ra))
+				continue
+			}
+		}
+		b, err := readBody(resp)
+		if err != nil {
+			return err
+		}
+		_, werr := c.out.Write(b)
+		return werr
 	}
-	b, err := readBody(resp)
-	if err != nil {
-		return err
-	}
-	_, werr := c.out.Write(b)
-	return werr
 }
 
 // readBody drains the response and turns non-2xx (other than 202, which

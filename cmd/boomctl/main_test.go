@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -175,13 +177,16 @@ func TestStatusFabric(t *testing.T) {
 	}
 }
 
-// TestStatusDraining: a draining coordinator's 503 surfaces as a typed
-// error carrying both the server's message and the Retry-After hint —
-// the regression this pins is bare-TCP-error-looking output for a node
-// that is merely shutting down.
+// TestStatusDraining: a node that never stops draining is retried the
+// bounded number of times (honoring its Retry-After hint) and then
+// surfaces as a typed error carrying both the server's message and the
+// hint — the regressions this pins are bare-TCP-error-looking output for
+// a node that is merely shutting down, and unbounded retry loops.
 func TestStatusDraining(t *testing.T) {
+	var calls int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Retry-After", "5")
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Retry-After", "0") // "ask again immediately", forever
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte(`{"error":"coordinator is draining; retry later"}`))
@@ -192,9 +197,67 @@ func TestStatusDraining(t *testing.T) {
 	if err == nil {
 		t.Fatal("draining status must fail")
 	}
-	for _, want := range []string{"503", "draining", "retry after 5s"} {
+	for _, want := range []string{"503", "draining", "retry after 0s"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("draining error %q missing %q", err, want)
+		}
+	}
+	if got := atomic.LoadInt32(&calls); got != drainRetries+1 {
+		t.Errorf("client made %d requests, want %d (initial + %d capped retries)",
+			got, drainRetries+1, drainRetries)
+	}
+}
+
+// TestStatusDrainRecovery: against a coordinator that finishes draining
+// after a couple of rejections, boomctl's Retry-After backoff rides the
+// drain out and the read succeeds with no error surfaced at all.
+func TestStatusDrainRecovery(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"coordinator is draining; retry later"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"draining":false,"workers":[{"id":"w1","live":true,"cells_done":3,"last_seen_ms":10,"quarantined":true}],"campaigns":[]}`))
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-addr", strings.TrimPrefix(ts.URL, "http://"), "status"}, &out); err != nil {
+		t.Fatalf("status through a finishing drain: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Errorf("client made %d requests, want 3 (two rejections, one success)", got)
+	}
+	// The quarantine flag travels through to the operator unmangled.
+	if !strings.Contains(out.String(), `"quarantined":true`) {
+		t.Errorf("status output %q lost the quarantined marker", out.String())
+	}
+}
+
+// TestRetryDelay pins the backoff arithmetic: server hints win but are
+// capped, and without a parseable hint the fallback doubles from 500ms up
+// to the same ceiling.
+func TestRetryDelay(t *testing.T) {
+	cases := []struct {
+		attempt    int
+		retryAfter string
+		want       time.Duration
+	}{
+		{0, "5", 5 * time.Second},
+		{3, "0", 0},
+		{0, "86400", 15 * time.Second}, // confused server: capped
+		{0, "soon", 500 * time.Millisecond},
+		{1, "", time.Second},
+		{2, "", 2 * time.Second},
+		{10, "", 15 * time.Second},
+		{0, "-1", 500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := retryDelay(c.attempt, c.retryAfter); got != c.want {
+			t.Errorf("retryDelay(%d, %q) = %s, want %s", c.attempt, c.retryAfter, got, c.want)
 		}
 	}
 }

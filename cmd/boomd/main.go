@@ -45,7 +45,6 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/engineflags"
 	"repro/internal/fabric"
-	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -69,11 +68,15 @@ func run(args []string) error {
 	coordinator := fs.String("coordinator", "", "coordinator base URL a -worker registers with")
 	workerID := fs.String("worker-id", "", "fabric worker identity (default worker-<pid>)")
 	lease := fs.Duration("lease", 15*time.Second, "fabric cell lease; a worker silent this long has its cells stolen")
+	audit := fs.Float64("audit", 0, "fraction of completed measure cells re-executed on another worker for fingerprint verification (0 = off, 1 = every cell); divergent workers are quarantined")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := ef.Validate(); err != nil {
 		return err
+	}
+	if *audit < 0 || *audit > 1 {
+		return fmt.Errorf("-audit %v: must be in [0, 1]", *audit)
 	}
 
 	logf := func(format string, a ...interface{}) {
@@ -87,10 +90,6 @@ func run(args []string) error {
 	// RunCampaign falls back to the job's local runner, so a solo boomd is
 	// byte-identical to the pre-fabric service.
 	reg := metrics.NewRegistry()
-	inj, err := faultinject.Parse(ef.Chaos)
-	if err != nil {
-		return err
-	}
 	var store *artifact.Cache
 	if ef.CacheDir != "" {
 		store = artifact.Open(ef.CacheDir)
@@ -102,7 +101,8 @@ func run(args []string) error {
 		KeepGoing:  ef.KeepGoing,
 		Resume:     ef.Resume,
 		JournalDir: ef.CacheDir,
-		Injector:   inj,
+		AuditFrac:  *audit,
+		Injector:   ef.Injector(),
 		Log:        logf,
 	})
 	srv, err := serve.New(serve.Config{
@@ -166,22 +166,31 @@ func run(args []string) error {
 
 // runWorker is -worker mode: one fabric worker polling a coordinator
 // until SIGTERM/SIGINT. The worker's cache directory (-cache, or a temp
-// dir) is its local artifact tier over the coordinator's store.
+// dir) is its local artifact tier over the coordinator's store. RPCs use
+// the split -remote-connect-timeout/-remote-timeout client; with -chaos,
+// the same plan arms both the pipeline sites and — via the transport
+// wrapper — the network-boundary sites, scoped to this worker's ID.
 func runWorker(coordinator, id string, ef *engineflags.Flags, logf func(string, ...interface{})) error {
 	if coordinator == "" {
 		return fmt.Errorf("-worker requires -coordinator URL")
 	}
-	inj, err := faultinject.Parse(ef.Chaos)
-	if err != nil {
-		return err
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	var hc *http.Client
+	if ef.Injector() != nil {
+		hc = ef.RemoteClient(id)
 	}
 	w, err := fabric.NewWorker(fabric.WorkerConfig{
-		Coordinator: coordinator,
-		ID:          id,
-		CacheDir:    ef.CacheDir,
-		Registry:    metrics.NewRegistry(),
-		Injector:    inj,
-		Log:         logf,
+		Coordinator:    coordinator,
+		ID:             id,
+		CacheDir:       ef.CacheDir,
+		Registry:       metrics.NewRegistry(),
+		Injector:       ef.Injector(),
+		HTTPClient:     hc,
+		ConnectTimeout: ef.RemoteConnect,
+		RPCTimeout:     ef.RemoteTimeout,
+		Log:            logf,
 	})
 	if err != nil {
 		return err

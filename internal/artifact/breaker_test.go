@@ -1,0 +1,203 @@
+package artifact
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/metrics"
+)
+
+// testBreaker returns a breaker on a hand-cranked clock plus the counter
+// map its transitions record into.
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time, map[string]int) {
+	now := time.Unix(1000, 0)
+	counts := map[string]int{}
+	b := newBreaker(threshold, cooldown, func(name string) { counts[name]++ })
+	b.now = func() time.Time { return now }
+	return b, &now, counts
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, now, counts := testBreaker(3, 10*time.Second)
+
+	// Closed: failures below the threshold change nothing.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused operation %d", i)
+		}
+		b.failure()
+	}
+	if counts["artifact.breaker_open"] != 0 {
+		t.Fatal("breaker tripped below its threshold")
+	}
+	// A success resets the consecutive count: two more failures still
+	// don't reach 3-in-a-row.
+	b.allow()
+	b.success()
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.failure()
+	}
+	if counts["artifact.breaker_open"] != 0 {
+		t.Fatal("breaker counted non-consecutive failures")
+	}
+
+	// The third consecutive failure trips it.
+	b.allow()
+	b.failure()
+	if counts["artifact.breaker_open"] != 1 {
+		t.Fatalf("breaker_open = %d, want 1", counts["artifact.breaker_open"])
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed an operation inside the cooldown")
+	}
+	if counts["artifact.breaker_short_circuit"] != 1 {
+		t.Fatalf("short_circuit = %d, want 1", counts["artifact.breaker_short_circuit"])
+	}
+
+	// Cooldown lapses: exactly one probe goes through; a failed probe
+	// re-opens for a fresh cooldown.
+	*now = now.Add(11 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	if counts["artifact.breaker_probe"] != 1 {
+		t.Fatalf("probe = %d, want 1", counts["artifact.breaker_probe"])
+	}
+	b.failure()
+	if counts["artifact.breaker_open"] != 2 {
+		t.Fatalf("failed probe must re-open (breaker_open = %d)", counts["artifact.breaker_open"])
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed an operation")
+	}
+
+	// Second probe succeeds: breaker closes and stays closed.
+	*now = now.Add(11 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success()
+	if counts["artifact.breaker_close"] != 1 {
+		t.Fatalf("breaker_close = %d, want 1", counts["artifact.breaker_close"])
+	}
+	for i := 0; i < 5; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker refused after recovery")
+		}
+		b.success()
+	}
+}
+
+// TestBreakerProbeDedupe: N goroutines arriving at the half-open instant
+// get exactly one probe between them — the rest short-circuit.
+func TestBreakerProbeDedupe(t *testing.T) {
+	b, now, counts := testBreaker(1, time.Second)
+	b.allow()
+	b.failure() // threshold 1: open
+	*now = now.Add(2 * time.Second)
+
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.allow() {
+				allowed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := allowed.Load(); n != 1 {
+		t.Fatalf("%d concurrent probes allowed, want exactly 1", n)
+	}
+	if counts["artifact.breaker_probe"] != 1 {
+		t.Fatalf("probe count %d, want 1", counts["artifact.breaker_probe"])
+	}
+}
+
+// TestRemoteBreakerEndToEnd: a dead store trips the breaker after the
+// threshold, operations short-circuit with ErrBreakerOpen (the caller
+// degrades to recompute), and a recovered store closes it again via the
+// half-open probe.
+func TestRemoteBreakerEndToEnd(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "store down", http.StatusInternalServerError)
+			return
+		}
+		if r.Method == http.MethodPut {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	remote := NewRemote(ts.URL, ts.Client())
+	remote.SetRetry(backoff.Policy{Attempts: 1, Jitter: -1})
+	remote.SetBreaker(2, 50*time.Millisecond)
+	reg := metrics.NewRegistry()
+	remote.SetMetrics(reg)
+	k := NewKey("measure", 1, struct{ W string }{"sha"})
+
+	// Healthy store answering 404: breaker-neutral, stays closed.
+	if _, err := remote.Fetch(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch = %v, want ErrNotFound", err)
+	}
+
+	down.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, err := remote.Fetch(k); err == nil || errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("fetch %d: err = %v, want a plain 5xx failure", i, err)
+		}
+	}
+	if n := reg.Counter("artifact.breaker_open").Value(); n != 1 {
+		t.Fatalf("breaker_open = %d, want 1", n)
+	}
+	if _, err := remote.Fetch(k); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker Fetch = %v, want ErrBreakerOpen", err)
+	}
+	if err := remote.Push(k, []byte("x")); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker Push = %v, want ErrBreakerOpen", err)
+	}
+	if n := reg.Counter("artifact.breaker_short_circuit").Value(); n < 2 {
+		t.Fatalf("short_circuit = %d, want ≥ 2", n)
+	}
+
+	// With the breaker open, a Cache.Put skips the push instead of failing
+	// the sweep.
+	c := Open(t.TempDir())
+	c.SetRemote(remote)
+	c.SetMetrics(reg)
+	if err := c.Put(k, []byte("payload"), 1); err != nil {
+		t.Fatalf("Put under an open breaker must degrade, got %v", err)
+	}
+	if n := reg.Counter("artifact.remote.push_skipped").Value(); n != 1 {
+		t.Fatalf("push_skipped = %d, want 1", n)
+	}
+
+	// Store recovers; after the cooldown one probe closes the breaker.
+	down.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := remote.Fetch(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("probe Fetch = %v, want ErrNotFound (reachable again)", err)
+	}
+	if n := reg.Counter("artifact.breaker_close").Value(); n != 1 {
+		t.Fatalf("breaker_close = %d, want 1", n)
+	}
+	if err := c.Put(k, []byte("payload"), 1); err != nil {
+		t.Fatalf("post-recovery Put: %v", err)
+	}
+	if n := reg.Counter("artifact.remote.push").Value(); n != 1 {
+		t.Fatalf("push = %d, want 1 after recovery", n)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
+	"syscall"
 
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
@@ -49,6 +51,14 @@ type Cache struct {
 	reg    *metrics.Registry     // optional; nil disables instrumentation
 	inj    *faultinject.Injector // optional; nil disables fault sites
 	remote *Remote               // optional read-through/write-through tier
+	log    func(format string, args ...any)
+
+	// Fail-open state: a cache is an optimization, so a disk that stops
+	// accepting writes (ENOSPC, quota, read-only remount) must degrade the
+	// sweep to recomputation, not fail it.
+	wmu       sync.Mutex
+	writeErrs int  // consecutive real putRaw failures
+	failOpen  bool // local writes disabled for the rest of the run
 }
 
 // Open returns a cache rooted at dir. The directory is created lazily on
@@ -62,9 +72,20 @@ func (c *Cache) Dir() string { return c.dir }
 // SetMetrics attaches a metrics registry. Counters: "artifact.hit",
 // "artifact.miss", "artifact.evict", "artifact.put", "artifact.put_bytes",
 // "artifact.saved_ns" (compute time short-circuited by hits), plus
-// per-stage "artifact.<stage>.hit" / "artifact.<stage>.miss". A nil
-// registry (the default) disables instrumentation.
-func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
+// per-stage "artifact.<stage>.hit" / "artifact.<stage>.miss", and the
+// degradation counters "artifact.write_errors", "artifact.fail_open",
+// "artifact.put_skipped". A nil registry (the default) disables
+// instrumentation. Propagates to an attached Remote.
+func (c *Cache) SetMetrics(reg *metrics.Registry) {
+	c.reg = reg
+	if c.remote != nil {
+		c.remote.SetMetrics(reg)
+	}
+}
+
+// SetLog attaches a printf-style logger for the cache's one operational
+// warning (the fail-open transition). Nil (the default) keeps it silent.
+func (c *Cache) SetLog(fn func(format string, args ...any)) { c.log = fn }
 
 // SetFaultInjector attaches a deterministic fault-injection plan (chaos
 // testing). Two sites are exposed: "artifact.read/<stage>" corrupts entry
@@ -79,7 +100,12 @@ func (c *Cache) SetFaultInjector(inj *faultinject.Injector) { c.inj = inj }
 // the local write, so stages computed on one node feed every other node
 // sharing the store. A nil remote (the default) keeps the cache purely
 // local. See Remote for the fetch-verification contract.
-func (c *Cache) SetRemote(r *Remote) { c.remote = r }
+func (c *Cache) SetRemote(r *Remote) {
+	c.remote = r
+	if r != nil && c.reg != nil {
+		r.SetMetrics(c.reg)
+	}
+}
 
 func (c *Cache) count(name string) {
 	if c.reg != nil {
@@ -174,21 +200,77 @@ func (c *Cache) fetchRemote(k Key) (entry []byte, ok bool) {
 		c.count("artifact.remote.evict")
 		return nil, false
 	}
-	if err := c.putRaw(k, entry); err == nil {
-		c.count("artifact.remote.fill")
+	if c.writeAllowed() {
+		if err := c.putRaw(k, entry); err == nil {
+			c.noteWriteOK()
+			c.count("artifact.remote.fill")
+		} else {
+			c.noteWriteError(k, err)
+		}
 	}
 	c.count("artifact.remote.fetch")
 	return entry, true
 }
 
+// writeAllowed reports whether local writes are still enabled.
+func (c *Cache) writeAllowed() bool {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return !c.failOpen
+}
+
+func (c *Cache) noteWriteOK() {
+	c.wmu.Lock()
+	c.writeErrs = 0
+	c.wmu.Unlock()
+}
+
+// noteWriteError records a real (non-injected) putRaw failure and decides
+// whether to fail open. Out-of-space conditions disable writes
+// immediately — every subsequent write would fail the same way — while
+// anything else must persist for writeErrTrip consecutive Puts first, so
+// one transient hiccup doesn't permanently disable the cache. The
+// transition logs exactly one warning.
+func (c *Cache) noteWriteError(k Key, err error) {
+	c.count("artifact.write_errors")
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.writeErrs++
+	fatal := errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) || errors.Is(err, syscall.EROFS)
+	if c.failOpen || (!fatal && c.writeErrs < writeErrTrip) {
+		return
+	}
+	c.failOpen = true
+	c.count("artifact.fail_open")
+	if c.log != nil {
+		c.log("artifact cache failing open: writing %s under %s: %v (caching disabled for this run; stages recompute instead)", k, c.dir, err)
+	}
+}
+
+// writeErrTrip is how many consecutive non-fatal write errors disable the
+// local cache tier.
+const writeErrTrip = 3
+
 // Put stores an artifact atomically: the entry is written to a temp file
 // in the cache root and renamed into place, so readers only ever observe
 // complete entries. costNS records how long the payload took to compute.
 //
+// Local-tier write failures never fail the Put — a cache is an
+// optimization, so a full or read-only disk degrades the run to
+// recomputation ("artifact.write_errors"). ENOSPC/EDQUOT/EROFS, or
+// writeErrTrip consecutive failures of any kind, fail the cache open:
+// one warning, an "artifact.fail_open" counter, and every later Put
+// skips the local write ("artifact.put_skipped"). Injected
+// "artifact.write" faults still fail loudly — chaos tests exercise the
+// caller's retry path through them.
+//
 // With a remote store attached, the entry is pushed to the store after
 // the local write, and a push failure fails the Put: a distributed worker
 // must not report a stage done while its artifact is invisible to the
-// rest of the cluster. Concurrent Puts of the same key are idempotent —
+// rest of the cluster. The exception is an open circuit breaker — the
+// store is already known-dead, the cluster is already degrading to local
+// recompute, so the push is skipped ("artifact.remote.push_skipped")
+// rather than failed. Concurrent Puts of the same key are idempotent —
 // the content-addressed key makes every writer's entry byte-identical
 // (modulo the advisory costNS), so last-rename/last-push wins harmlessly.
 func (c *Cache) Put(k Key, payload []byte, costNS int64) error {
@@ -196,19 +278,26 @@ func (c *Cache) Put(k Key, payload []byte, costNS int64) error {
 		return fmt.Errorf("artifact: writing %s: %w", k, err)
 	}
 	entry := encodeEntry(payload, k.Version, costNS)
-	if err := c.putRaw(k, entry); err != nil {
-		return fmt.Errorf("artifact: writing %s: %w", k, err)
-	}
-	c.count("artifact.put")
-	if c.reg != nil {
-		c.reg.Counter("artifact.put_bytes").Add(int64(len(payload)))
+	if !c.writeAllowed() {
+		c.count("artifact.put_skipped")
+	} else if err := c.putRaw(k, entry); err != nil {
+		c.noteWriteError(k, err)
+	} else {
+		c.noteWriteOK()
+		c.count("artifact.put")
+		if c.reg != nil {
+			c.reg.Counter("artifact.put_bytes").Add(int64(len(payload)))
+		}
 	}
 	if c.remote != nil {
-		if err := c.remote.Push(k, entry); err != nil {
+		if err := c.remote.Push(k, entry); errors.Is(err, ErrBreakerOpen) {
+			c.count("artifact.remote.push_skipped")
+		} else if err != nil {
 			c.count("artifact.remote.push_error")
 			return fmt.Errorf("artifact: pushing %s to remote store: %w", k, err)
+		} else {
+			c.count("artifact.remote.push")
 		}
-		c.count("artifact.remote.push")
 	}
 	return nil
 }

@@ -1,0 +1,122 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// brokenCache roots a cache under a path that is a regular file, so every
+// putRaw fails with a real filesystem error (ENOTDIR) — the persistent-
+// write-failure shape without needing to fill a disk.
+func brokenCache(t *testing.T) *Cache {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Open(filepath.Join(file, "cache"))
+}
+
+// TestCacheFailsOpenOnPersistentWriteErrors: real write errors never fail
+// a Put, and after writeErrTrip consecutive failures the cache disables
+// itself with exactly one warning — the sweep keeps computing.
+func TestCacheFailsOpenOnPersistentWriteErrors(t *testing.T) {
+	c := brokenCache(t)
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	var mu sync.Mutex
+	var warnings []string
+	c.SetLog(func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+
+	for i := 0; i < writeErrTrip+2; i++ {
+		k := NewKey("measure", 1, struct{ I int }{i})
+		if err := c.Put(k, []byte("payload"), 1); err != nil {
+			t.Fatalf("Put %d: a cache write error must not fail the Put: %v", i, err)
+		}
+	}
+	if n := reg.Counter("artifact.write_errors").Value(); n != writeErrTrip {
+		t.Errorf("write_errors = %d, want %d (fail-open stops the attempts)", n, writeErrTrip)
+	}
+	if n := reg.Counter("artifact.fail_open").Value(); n != 1 {
+		t.Errorf("fail_open = %d, want 1", n)
+	}
+	if n := reg.Counter("artifact.put_skipped").Value(); n != 2 {
+		t.Errorf("put_skipped = %d, want 2", n)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %d, want exactly 1: %q", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], "failing open") {
+		t.Errorf("warning %q does not announce the fail-open", warnings[0])
+	}
+
+	// Reads still work while failed open (the cache degrades, it doesn't
+	// poison): a miss is a miss, not an error.
+	if _, _, ok := c.Get(NewKey("measure", 1, struct{ I int }{0})); ok {
+		t.Error("Get hit on a cache that never persisted anything")
+	}
+}
+
+// TestCacheWriteErrorsResetOnSuccess: errors must be consecutive to trip
+// — a healthy write in between resets the count.
+func TestCacheWriteErrorsResetOnSuccess(t *testing.T) {
+	c := Open(t.TempDir())
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	k := NewKey("measure", 1, struct{ W string }{"sha"})
+
+	for round := 0; round < writeErrTrip+1; round++ {
+		// One failed write (temp dir creation blocked by a file squatting
+		// on the stage directory)...
+		stageDir := filepath.Join(c.Dir(), "bbv")
+		if err := os.WriteFile(stageDir, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		kb := NewKey("bbv", 1, struct{ I int }{round})
+		if err := c.Put(kb, []byte("p"), 1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		os.Remove(stageDir)
+		// ...then a healthy one.
+		if err := c.Put(k, []byte("p"), 1); err != nil {
+			t.Fatalf("round %d healthy Put: %v", round, err)
+		}
+	}
+	if n := reg.Counter("artifact.fail_open").Value(); n != 0 {
+		t.Errorf("fail_open = %d, want 0 (interleaved successes reset the streak)", n)
+	}
+	if n := reg.Counter("artifact.write_errors").Value(); n != writeErrTrip+1 {
+		t.Errorf("write_errors = %d, want %d", n, writeErrTrip+1)
+	}
+}
+
+// TestCacheInjectedWriteFaultStillFailsLoudly: the chaos site keeps its
+// contract — injected artifact.write faults propagate to the caller (the
+// runner's retry path depends on seeing them), only real I/O errors are
+// absorbed by fail-open.
+func TestCacheInjectedWriteFaultStillFailsLoudly(t *testing.T) {
+	inj, err := faultinject.Parse("1:artifact.write=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Open(t.TempDir())
+	c.SetFaultInjector(inj)
+	k := NewKey("measure", 1, struct{ W string }{"sha"})
+	if err := c.Put(k, []byte("p"), 1); err == nil {
+		t.Fatal("injected write fault must propagate")
+	}
+	if err := c.Put(k, []byte("p"), 1); err != nil {
+		t.Fatalf("post-fault Put: %v", err)
+	}
+}

@@ -16,34 +16,140 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/metrics"
 )
 
 // ErrNotFound reports a key absent from the remote store.
 var ErrNotFound = fmt.Errorf("artifact: not found in remote store")
 
+// NewHTTPClient returns an http.Client with the connection and response
+// phases bounded separately: connect caps dialing (a dead or partitioned
+// host fails fast) and response caps the wait for response headers (a
+// server that accepts and then hangs is cut off). There is deliberately
+// no overall Client.Timeout — that would also bound the body transfer and
+// any long-poll the fabric layers on the same client. Zero durations
+// leave that phase unbounded.
+func NewHTTPClient(connect, response time.Duration) *http.Client {
+	d := &net.Dialer{Timeout: connect, KeepAlive: 30 * time.Second}
+	return &http.Client{Transport: &http.Transport{
+		DialContext:           d.DialContext,
+		ResponseHeaderTimeout: response,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+	}}
+}
+
+// statusError is an HTTP refusal from the store, kept typed so the retry
+// and breaker layers can tell "the server said no" (4xx: permanent,
+// breaker-neutral) from "the server is hurting" (5xx: retryable, counts
+// toward the trip threshold).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 // Remote is the client half of the remote artifact store. A nil *Remote
 // is inert. Safe for concurrent use.
+//
+// Every operation runs under a jittered-backoff retry policy with
+// per-attempt deadlines, behind a consecutive-failure circuit breaker:
+// transient store hiccups cost bounded latency, and a dead store trips
+// the breaker so subsequent operations short-circuit with ErrBreakerOpen
+// (callers degrade to local recompute) until a half-open probe finds the
+// store healthy again. Breaker transitions surface as
+// artifact.breaker_open / _close / _probe / _short_circuit counters.
 type Remote struct {
 	base string
 	hc   *http.Client
+	pol  backoff.Policy
+	br   *breaker
+	reg  *metrics.Registry
 }
 
 // NewRemote returns a client for the store at base (e.g.
-// "http://coordinator:8080"). hc nil uses a client with a 60s timeout.
+// "http://coordinator:8080"). hc nil uses NewHTTPClient(5s, 60s) — a 5s
+// connect bound and a 60s response-header bound, with the transfer itself
+// unbounded.
 func NewRemote(base string, hc *http.Client) *Remote {
 	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+		hc = NewHTTPClient(5*time.Second, 60*time.Second)
 	}
-	return &Remote{base: strings.TrimRight(base, "/"), hc: hc}
+	r := &Remote{
+		base: strings.TrimRight(base, "/"),
+		hc:   hc,
+		pol: backoff.Policy{
+			Attempts:       3,
+			Base:           100 * time.Millisecond,
+			Max:            2 * time.Second,
+			AttemptTimeout: 60 * time.Second,
+		},
+	}
+	r.br = newBreaker(5, 5*time.Second, r.count)
+	return r
+}
+
+// SetMetrics attaches a registry for breaker and retry counters.
+func (r *Remote) SetMetrics(reg *metrics.Registry) { r.reg = reg }
+
+// SetRetry replaces the retry policy (tests tighten it; operators with
+// flappy links widen it).
+func (r *Remote) SetRetry(p backoff.Policy) { r.pol = p }
+
+// SetBreaker re-tunes the circuit breaker: trip after threshold
+// consecutive failed operations, short-circuit for cooldown before
+// probing. Zero values keep the defaults (5 failures, 5s).
+func (r *Remote) SetBreaker(threshold int, cooldown time.Duration) {
+	r.br = newBreaker(threshold, cooldown, r.count)
+}
+
+func (r *Remote) count(name string) {
+	if r.reg != nil {
+		r.reg.Counter(name).Inc()
+	}
+}
+
+// breakerNeutral reports errors that prove the store is reachable even
+// though the operation failed — a 404 or any other 4xx is the server
+// answering, which must not trip the breaker.
+func breakerNeutral(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && se.code < 500
+}
+
+// do runs one logical store operation through the breaker and the retry
+// policy. One allow() per operation: the retries inside count as a single
+// breaker verdict, so the trip threshold measures operations, not
+// attempts.
+func (r *Remote) do(op func(ctx context.Context) error) error {
+	if !r.br.allow() {
+		return ErrBreakerOpen
+	}
+	err := backoff.Retry(context.Background(), r.pol, op)
+	if err == nil || breakerNeutral(err) {
+		r.br.success()
+	} else {
+		r.br.failure()
+	}
+	return err
 }
 
 func (r *Remote) url(k Key) string {
@@ -52,61 +158,92 @@ func (r *Remote) url(k Key) string {
 
 // Fetch retrieves the raw entry bytes for k. The caller (Cache.Get)
 // verifies the entry checksum before using or persisting it — Fetch
-// itself only moves bytes. Returns ErrNotFound for an absent key.
+// itself only moves bytes. Returns ErrNotFound for an absent key and
+// ErrBreakerOpen while the breaker is short-circuiting.
 func (r *Remote) Fetch(k Key) ([]byte, error) {
-	resp, err := r.hc.Get(r.url(k))
+	var out []byte
+	err := r.do(func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(k), nil)
+		if err != nil {
+			return backoff.Permanent(err)
+		}
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			out, err = io.ReadAll(io.LimitReader(resp.Body, maxPayload+headerSize))
+			return err
+		case http.StatusNotFound:
+			return backoff.Permanent(ErrNotFound)
+		default:
+			serr := &statusError{resp.StatusCode, fmt.Sprintf("artifact: remote store GET %s: %s", k, resp.Status)}
+			if resp.StatusCode/100 == 4 {
+				return backoff.Permanent(serr)
+			}
+			return serr
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return io.ReadAll(io.LimitReader(resp.Body, maxPayload+headerSize))
-	case http.StatusNotFound:
-		return nil, ErrNotFound
-	default:
-		return nil, fmt.Errorf("artifact: remote store GET %s: %s", k, resp.Status)
-	}
+	return out, nil
 }
 
 // Push uploads the raw entry bytes for k. Pushing the same key twice is
 // idempotent: content addressing makes every writer's entry equivalent.
 func (r *Remote) Push(k Key, entry []byte) error {
-	req, err := http.NewRequest(http.MethodPut, r.url(k), bytes.NewReader(entry))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := r.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("artifact: remote store PUT %s: %s", k, resp.Status)
-	}
-	return nil
+	return r.do(func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.url(k), bytes.NewReader(entry))
+		if err != nil {
+			return backoff.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			return nil
+		}
+		serr := &statusError{resp.StatusCode, fmt.Sprintf("artifact: remote store PUT %s: %s", k, resp.Status)}
+		if resp.StatusCode/100 == 4 {
+			// The store rejected these bytes (corrupt entry); resending
+			// the same bytes cannot change its mind.
+			return backoff.Permanent(serr)
+		}
+		return serr
+	})
 }
 
 // Evict removes k from the store (best effort; absent keys succeed). Used
 // when a fetched entry fails verification, so the slot heals on the next
 // Push instead of serving the same corrupt bytes forever.
 func (r *Remote) Evict(k Key) error {
-	req, err := http.NewRequest(http.MethodDelete, r.url(k), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := r.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
-		return fmt.Errorf("artifact: remote store DELETE %s: %s", k, resp.Status)
-	}
-	return nil
+	return r.do(func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.url(k), nil)
+		if err != nil {
+			return backoff.Permanent(err)
+		}
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 || resp.StatusCode == http.StatusNotFound {
+			return nil
+		}
+		serr := &statusError{resp.StatusCode, fmt.Sprintf("artifact: remote store DELETE %s: %s", k, resp.Status)}
+		if resp.StatusCode/100 == 4 {
+			return backoff.Permanent(serr)
+		}
+		return serr
+	})
 }
 
 var hexSumRE = regexp.MustCompile(`^[0-9a-f]{64}$`)

@@ -222,6 +222,7 @@ func New(fc FlowConfig, opts ...Option) *Runner {
 		r.cache.SetMetrics(r.reg)
 		r.cache.SetFaultInjector(r.inj)
 		r.cache.SetRemote(r.remote)
+		r.cache.SetLog(r.note)
 	}
 	r.inj.SetMetrics(r.reg)
 	return r

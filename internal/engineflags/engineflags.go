@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -45,6 +46,12 @@ type Flags struct {
 	Chaos        string
 	Jobs         int
 	RemoteStore  string
+	// RemoteConnect bounds dialing the remote store / coordinator;
+	// RemoteTimeout bounds the wait for response headers per RPC. The two
+	// are split deliberately: a single overall client timeout would also
+	// cap long polls and large artifact transfers.
+	RemoteConnect time.Duration
+	RemoteTimeout time.Duration
 
 	MetricsMode string // "", "text", "json" (set only if RegisterMetrics)
 	MetricsOut  string
@@ -71,6 +78,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Chaos, "chaos", "", "deterministic fault-injection plan SEED:SPEC, e.g. 7:core.measure/sha/*=error (see internal/faultinject)")
 	fs.IntVar(&f.Jobs, "j", 0, "sweep parallelism (0 = all cores); results are bit-identical at any level")
 	fs.StringVar(&f.RemoteStore, "remote-store", "", "base URL of a remote artifact store used as a read-through tier over -cache")
+	fs.DurationVar(&f.RemoteConnect, "remote-connect-timeout", 5*time.Second, "dial timeout for remote-store/coordinator RPCs")
+	fs.DurationVar(&f.RemoteTimeout, "remote-timeout", 60*time.Second, "response-header timeout per remote RPC (not an overall cap; long polls and large transfers may run longer)")
 	return f
 }
 
@@ -99,6 +108,12 @@ func (f *Flags) Validate() error {
 	}
 	if f.StageTimeout < 0 {
 		return fmt.Errorf("-stage-timeout %s: must be ≥ 0", f.StageTimeout)
+	}
+	if f.RemoteConnect <= 0 {
+		return fmt.Errorf("-remote-connect-timeout %s: must be > 0", f.RemoteConnect)
+	}
+	if f.RemoteTimeout <= 0 {
+		return fmt.Errorf("-remote-timeout %s: must be > 0", f.RemoteTimeout)
 	}
 	if f.CacheDir == "" {
 		if f.CacheVerify {
@@ -144,7 +159,7 @@ func (f *Flags) Options() ([]core.Option, error) {
 		opts = append(opts, core.WithCache(f.CacheDir), core.WithCacheVerify(f.CacheVerify))
 	}
 	if f.RemoteStore != "" {
-		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(f.RemoteStore, nil)))
+		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(f.RemoteStore, f.RemoteClient(""))))
 	}
 	if f.KeepGoing {
 		opts = append(opts, core.WithKeepGoing(true))
@@ -163,6 +178,28 @@ func (f *Flags) Options() ([]core.Option, error) {
 	}
 	return opts, nil
 }
+
+// RemoteClient builds the HTTP client every remote tier (remote store,
+// fabric coordinator) should use: split connect/response-header timeouts
+// from -remote-connect-timeout/-remote-timeout, with the -chaos plan's
+// network-boundary sites armed via a faultinject.Transport when a plan is
+// set. peer scopes per-node chaos rules (the fabric worker ID); leave it
+// empty for unscoped clients. Call after Validate.
+func (f *Flags) RemoteClient(peer string) *http.Client {
+	hc := artifact.NewHTTPClient(f.RemoteConnect, f.RemoteTimeout)
+	if f.injector != nil {
+		hc = &http.Client{Transport: &faultinject.Transport{
+			Injector: f.injector,
+			Base:     hc.Transport,
+			Peer:     peer,
+		}}
+	}
+	return hc
+}
+
+// Injector returns the parsed -chaos plan (nil when unset). Call after
+// Validate.
+func (f *Flags) Injector() *faultinject.Injector { return f.injector }
 
 // MetricsRegistry returns a fresh registry when -metrics was requested
 // (after Validate), or nil when metrics are off.

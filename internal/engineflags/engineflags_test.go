@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 // parse registers the shared flags (plus metrics) on a throwaway FlagSet
@@ -38,6 +40,8 @@ func TestValidateRejections(t *testing.T) {
 		{[]string{"-chaos", "not-a-plan"}, "-chaos"},
 		{[]string{"-metrics", "xml"}, "-metrics"},
 		{[]string{"-remote-store", "http://store:9000"}, "-remote-store requires -cache"},
+		{[]string{"-remote-connect-timeout", "-1s"}, "-remote-connect-timeout"},
+		{[]string{"-remote-timeout", "0s"}, "-remote-timeout"},
 	}
 	for _, tc := range cases {
 		f := parse(t, tc.args...)
@@ -86,6 +90,36 @@ func TestOptionsBuilt(t *testing.T) {
 	// stage-timeout, fault injector, remote store
 	if len(opts) != 9 {
 		t.Errorf("built %d options, want 9", len(opts))
+	}
+}
+
+// TestRemoteClient: the remote-tier client carries the split
+// connect/response timeouts (no overall timeout — long polls must
+// survive), and a -chaos plan arms the network boundary by wrapping the
+// transport in a faultinject.Transport with the caller's peer scope.
+func TestRemoteClient(t *testing.T) {
+	f := parse(t, "-remote-connect-timeout", "1s", "-remote-timeout", "2s")
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hc := f.RemoteClient("")
+	if hc.Timeout != 0 {
+		t.Errorf("overall client timeout %s; must be 0 so long polls survive", hc.Timeout)
+	}
+	if _, ok := hc.Transport.(*faultinject.Transport); ok {
+		t.Error("transport chaos-wrapped without a -chaos plan")
+	}
+
+	f = parse(t, "-chaos", "7:fabric.report/w-1=error")
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := f.RemoteClient("w-1").Transport.(*faultinject.Transport)
+	if !ok {
+		t.Fatal("a -chaos plan must wrap the remote client in a faultinject.Transport")
+	}
+	if tr.Peer != "w-1" || tr.Injector != f.Injector() {
+		t.Errorf("transport wiring: peer %q injector match %v", tr.Peer, tr.Injector == f.Injector())
 	}
 }
 

@@ -51,8 +51,18 @@ type clusterOpts struct {
 	workers  int
 	lease    time.Duration
 	resume   bool
-	storeDir string // shared across restarts; "" = fresh temp dir
-	chaos    string // coordinator-side injector spec
+	storeDir string  // shared across restarts; "" = fresh temp dir
+	chaos    string  // coordinator-side injector spec
+	audit    float64 // fabric.Config.AuditFrac
+	// workerChaos[i] arms worker-i's own injector (pipeline sites plus the
+	// "fabric.payload/<id>" lying-worker site); missing/empty = honest.
+	workerChaos []string
+	// netChaos wraps every worker's HTTP client in a faultinject.Transport.
+	// Each worker parses its own injector from the spec (independent hit
+	// counters) with Peer set to its ID, so both broadcast rules
+	// ("fabric.report=error") and per-worker rules
+	// ("artifact.remote.get/worker-1=corrupt") stay deterministic.
+	netChaos string
 }
 
 func startCluster(t *testing.T, o clusterOpts) *cluster {
@@ -75,6 +85,7 @@ func startCluster(t *testing.T, o clusterOpts) *cluster {
 		Poll:       10 * time.Millisecond,
 		Resume:     o.resume,
 		JournalDir: o.storeDir,
+		AuditFrac:  o.audit,
 		Injector:   inj,
 		Log:        t.Logf,
 	})
@@ -85,12 +96,33 @@ func startCluster(t *testing.T, o clusterOpts) *cluster {
 	for i := 0; i < o.workers; i++ {
 		reg := metrics.NewRegistry()
 		c.workerRegs = append(c.workerRegs, reg)
+		id := fmt.Sprintf("worker-%d", i)
+		var winj *faultinject.Injector
+		if i < len(o.workerChaos) && o.workerChaos[i] != "" {
+			var err error
+			if winj, err = faultinject.Parse(o.workerChaos[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hc := c.ts.Client()
+		if o.netChaos != "" {
+			ninj, err := faultinject.Parse(o.netChaos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hc = &http.Client{Transport: &faultinject.Transport{
+				Injector: ninj,
+				Base:     c.ts.Client().Transport,
+				Peer:     id,
+			}}
+		}
 		w, err := fabric.NewWorker(fabric.WorkerConfig{
 			Coordinator: c.ts.URL,
-			ID:          fmt.Sprintf("worker-%d", i),
+			ID:          id,
 			CacheDir:    t.TempDir(),
 			Registry:    reg,
-			HTTPClient:  c.ts.Client(),
+			Injector:    winj,
+			HTTPClient:  hc,
 			Log:         t.Logf,
 		})
 		if err != nil {

@@ -81,6 +81,12 @@ type Config struct {
 	// JournalDir, when set, holds the coordinator's per-campaign journal
 	// fragments (conventionally the cache directory).
 	JournalDir string
+	// AuditFrac is the fraction of completed measure cells re-dispatched
+	// to a different worker for fingerprint verification (0 = no auditing,
+	// 1 = every cell). The sample is a deterministic function of the
+	// campaign fingerprint and cell label (see Audited); divergent workers
+	// are quarantined by majority vote.
+	AuditFrac float64
 	// Injector arms the "fabric.lease/<worker>" chaos site.
 	Injector *faultinject.Injector
 	// Log receives one line per lifecycle event (nil = silent).
@@ -104,9 +110,10 @@ type Coordinator struct {
 }
 
 type workerState struct {
-	id        string
-	lastSeen  time.Time
-	cellsDone int64
+	id          string
+	lastSeen    time.Time
+	cellsDone   int64
+	quarantined bool // audit divergence: granted nothing, trusted with nothing
 }
 
 type cellState int
@@ -116,6 +123,8 @@ const (
 	cellLeased
 	cellDone
 	cellFailed
+	cellAuditWait   // completed but held: awaiting an audit re-execution grant
+	cellAuditLeased // audit re-execution in flight on another worker
 )
 
 // cell is one schedulable unit's authoritative state, guarded by
@@ -129,6 +138,11 @@ type cell struct {
 	requires string    // gating cell label ("" = none)
 	payload  []byte    // canonical measure bytes once done
 	errMsg   string    // terminal failure message
+
+	doneBy      string        // worker whose bytes were accepted
+	audited     bool          // payload survived fingerprint verification
+	auditRounds int           // audit grants consumed (bounded by maxAuditGrants)
+	reports     []auditReport // fingerprint votes while in audit states
 }
 
 // run is one campaign in flight.
@@ -342,11 +356,17 @@ func (c *Coordinator) retire(id string) {
 // nextTask grants the first runnable cell to worker, stamping a fresh
 // lease. Expired leases across every run are reclaimed first, so a
 // stalled worker's cells become grantable the moment anyone polls.
+// Quarantined workers are granted nothing; cells held for audit are
+// granted — as Fresh re-executions — ahead of pending work, since they
+// gate campaign completion.
 func (c *Coordinator) nextTask(worker string) *Task {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLeasesLocked(now)
+	if ws := c.workers[worker]; ws != nil && ws.quarantined {
+		return nil
+	}
 	for _, rid := range c.runOrder {
 		r := c.runs[rid]
 		if r.finished {
@@ -354,7 +374,15 @@ func (c *Coordinator) nextTask(worker string) *Task {
 		}
 		for _, label := range r.order {
 			cl := r.cells[label]
-			if cl.state != cellPending {
+			switch cl.state {
+			case cellAuditWait:
+				if t := c.grantAuditLocked(r, cl, worker, now); t != nil {
+					return t
+				}
+				continue
+			case cellPending:
+				// fall through to the normal grant below
+			default:
 				continue
 			}
 			if cl.requires != "" {
@@ -382,6 +410,8 @@ func (c *Coordinator) nextTask(worker string) *Task {
 }
 
 // expireLeasesLocked steals cells back from workers whose lease lapsed.
+// An expired audit lease returns to the audit queue, not the pending
+// queue — the original result is still held for verification.
 func (c *Coordinator) expireLeasesLocked(now time.Time) {
 	for _, rid := range c.runOrder {
 		r := c.runs[rid]
@@ -390,12 +420,23 @@ func (c *Coordinator) expireLeasesLocked(now time.Time) {
 		}
 		for _, label := range r.order {
 			cl := r.cells[label]
-			if cl.state == cellLeased && now.After(cl.deadline) {
-				c.logf("campaign %s: stealing %s from silent worker %s",
-					short(r.id), label, cl.worker)
-				cl.state = cellPending
-				cl.worker = ""
-				c.count("fabric.cells_stolen")
+			switch cl.state {
+			case cellLeased:
+				if now.After(cl.deadline) {
+					c.logf("campaign %s: stealing %s from silent worker %s",
+						short(r.id), label, cl.worker)
+					cl.state = cellPending
+					cl.worker = ""
+					c.count("fabric.cells_stolen")
+				}
+			case cellAuditLeased:
+				if now.After(cl.deadline) {
+					c.logf("campaign %s: stealing audit of %s from silent worker %s",
+						short(r.id), label, cl.worker)
+					cl.state = cellAuditWait
+					cl.worker = ""
+					c.count("fabric.cells_stolen")
+				}
 			}
 		}
 	}
@@ -501,10 +542,11 @@ func (c *Coordinator) sortedWorkersLocked(now time.Time) []WorkerStatus {
 	out := make([]WorkerStatus, 0, len(c.workers))
 	for _, w := range c.workers {
 		out = append(out, WorkerStatus{
-			ID:         w.id,
-			Live:       now.Sub(w.lastSeen) <= 3*c.cfg.Lease,
-			CellsDone:  w.cellsDone,
-			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			ID:          w.id,
+			Live:        now.Sub(w.lastSeen) <= 3*c.cfg.Lease,
+			CellsDone:   w.cellsDone,
+			LastSeenMS:  now.Sub(w.lastSeen).Milliseconds(),
+			Quarantined: w.quarantined,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -118,7 +119,8 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 		return
 	}
 	cl := r.cells[body.Task.Label()]
-	if cl == nil || cl.state != cellLeased || cl.worker != body.Worker || cl.task.Seq != body.Task.Seq {
+	leased := cl != nil && (cl.state == cellLeased || cl.state == cellAuditLeased)
+	if !leased || cl.worker != body.Worker || cl.task.Seq != body.Task.Seq {
 		// Stolen and possibly regranted under a newer Seq — or already
 		// reported. Either way this worker's lease is gone.
 		writeJSON(w, heartbeatResponse{Lost: true})
@@ -158,7 +160,30 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, doneResponse{OK: true})
 		return
 	}
+	if ws := c.workers[body.Worker]; ws != nil && ws.quarantined {
+		// A quarantined worker's bytes are never trusted. Its cells were
+		// already stolen/requeued when it was quarantined; acknowledge so
+		// it stops retrying, and drop the result on the floor.
+		c.count("fabric.quarantined_reports_dropped")
+		writeJSON(w, doneResponse{OK: true})
+		return
+	}
 	if !body.OK {
+		if cl.state == cellAuditWait || cl.state == cellAuditLeased {
+			// An audit re-execution failed (chaos, OOM, a flaky node). The
+			// original result still stands; return the cell to the audit
+			// queue — grantAuditLocked's round budget bounds how long the
+			// campaign keeps trying before abandoning verification.
+			if cl.state == cellAuditLeased && cl.worker == body.Worker {
+				cl.state = cellAuditWait
+				cl.worker = ""
+			}
+			c.count("fabric.audit_errors")
+			c.logf("campaign %s: audit of %s failed on %s: %s",
+				short(r.id), label, body.Worker, body.Error)
+			writeJSON(w, doneResponse{OK: true})
+			return
+		}
 		cl.attempts++
 		c.logf("campaign %s: %s failed on %s (attempt %d/%d): %s",
 			short(r.id), label, body.Worker, cl.attempts, c.cfg.MaxAttempts, body.Error)
@@ -172,20 +197,32 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, doneResponse{OK: true})
 		return
 	}
-	cl.state = cellDone
-	cl.worker = ""
-	cl.payload = body.Payload
-	r.remaining--
-	c.count("fabric.cells_done")
-	if c.reg != nil {
-		c.reg.Counter("fabric.cells_done." + body.Worker).Inc()
+	sum := sha256.Sum256(body.Payload)
+	if cl.state == cellAuditWait || cl.state == cellAuditLeased {
+		// An audit vote. Fresh derivations only — a non-Fresh report here
+		// is the slow half of a stolen original, which may have read the
+		// first worker's artifact from the shared store and so proves
+		// nothing. One vote per worker.
+		if !body.Task.Fresh || hasVoted(cl, body.Worker) {
+			c.count("fabric.duplicate_results")
+			writeJSON(w, doneResponse{OK: true})
+			return
+		}
+		cl.reports = append(cl.reports, auditReport{worker: body.Worker, sum: sum, payload: body.Payload})
+		c.resolveAuditLocked(r, cl)
+		writeJSON(w, doneResponse{OK: true})
+		return
 	}
-	if ws := c.workers[body.Worker]; ws != nil {
-		ws.cellsDone++
-	}
-	r.frag.appendCell(label, body.Payload)
-	if r.remaining == 0 {
-		c.finishLocked(r)
+	// First completion of a normal cell: either hold it for audit or
+	// finalize it outright.
+	if c.auditWantedLocked(r, cl, body.Worker, time.Now()) {
+		cl.state = cellAuditWait
+		cl.worker = ""
+		cl.reports = []auditReport{{worker: body.Worker, sum: sum, payload: body.Payload}}
+		c.count("fabric.cells_audited")
+		c.logf("campaign %s: holding %s for audit (reported by %s)", short(r.id), label, body.Worker)
+	} else {
+		c.finishCellLocked(r, cl, body.Worker, body.Payload, false)
 	}
 	writeJSON(w, doneResponse{OK: true})
 }
@@ -221,6 +258,8 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, req *http.Request) {
 				cs.Done++
 			case cellFailed:
 				cs.Failed++
+			case cellAuditWait, cellAuditLeased:
+				cs.Auditing++
 			}
 		}
 		reply.Campaigns = append(reply.Campaigns, cs)

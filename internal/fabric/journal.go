@@ -30,7 +30,7 @@ import (
 
 // fragmentRecord is one JSONL line of a fragment.
 type fragmentRecord struct {
-	Ev   string `json:"ev"`             // "fabric" (header) | "cell"
+	Ev   string `json:"ev"`             // "fabric" (header) | "cell" | "revoke"
 	ID   string `json:"id,omitempty"`   // campaign fingerprint (header only)
 	Task string `json:"task,omitempty"` // cell label, e.g. "measure/MegaBOOM/sha"
 	// Payload carries the canonical measure bytes (base64 via
@@ -94,6 +94,15 @@ func openFragment(path, campaignID string, extend bool, warn func(string, ...int
 
 func (w *fragmentWriter) appendCell(label string, payload []byte) {
 	w.append(fragmentRecord{Ev: "cell", Task: label, Payload: payload}, false)
+}
+
+// revokeCell retracts an earlier cell record (a quarantined worker's
+// suspect result): on merge the revoke erases every preceding record for
+// the label in this fragment, so a resume reruns the cell instead of
+// trusting bytes from a worker later caught lying. A re-completed cell
+// appends a fresh record after the revoke and is trusted normally.
+func (w *fragmentWriter) revokeCell(label string) {
+	w.append(fragmentRecord{Ev: "revoke", Task: label}, true)
 }
 
 func (w *fragmentWriter) append(rec fragmentRecord, sync bool) {
@@ -167,6 +176,10 @@ func mergeFragment(cells map[string][]byte, path, wantID string) {
 				return // foreign campaign: never merge
 			}
 			first = false
+			continue
+		}
+		if rec.Ev == "revoke" && rec.Task != "" {
+			delete(cells, rec.Task) // suspect result retracted by quarantine
 			continue
 		}
 		if rec.Ev != "cell" || rec.Task == "" {

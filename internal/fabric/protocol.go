@@ -26,6 +26,11 @@ type Task struct {
 	Workload string `json:"workload"`
 	Config   string `json:"config,omitempty"` // measure cells only
 	Seq      uint64 `json:"seq"`
+	// Fresh marks an audit re-execution: the worker must recompute the
+	// cell without the shared remote store (and without its normal local
+	// cache), so the result is an independent derivation rather than a
+	// copy of the artifact under audit.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // Label names the cell the way the sweep journal names tasks
@@ -113,15 +118,20 @@ type WorkerStatus struct {
 	Live       bool   `json:"live"`
 	CellsDone  int64  `json:"cells_done"`
 	LastSeenMS int64  `json:"last_seen_ms"` // milliseconds since last contact
+	// Quarantined marks a worker whose results diverged from the audit
+	// majority: it is granted no further cells and its unaudited results
+	// were requeued.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // CampaignStatus is one in-flight campaign's cell accounting.
 type CampaignStatus struct {
-	ID      string `json:"id"`
-	Pending int    `json:"pending"`
-	Leased  int    `json:"leased"`
-	Done    int    `json:"done"`
-	Failed  int    `json:"failed"`
+	ID       string `json:"id"`
+	Pending  int    `json:"pending"`
+	Leased   int    `json:"leased"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Auditing int    `json:"auditing,omitempty"` // completed cells held for audit
 }
 
 // StatusReply is the body of GET /v1/fabric/status. While the node is

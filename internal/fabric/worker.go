@@ -8,11 +8,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
@@ -34,10 +36,22 @@ type WorkerConfig struct {
 	// Registry collects the worker's pipeline + fabric metrics.
 	Registry *metrics.Registry
 	// Injector arms the worker-side chaos sites (artifact.fetch, the core
-	// pipeline sites).
+	// pipeline sites, and "fabric.payload/<id>" — corrupting the result
+	// bytes this worker reports, the shape coordinator-side auditing
+	// exists to catch).
 	Injector *faultinject.Injector
-	// HTTPClient overrides the default client (tests).
+	// HTTPClient overrides the default client (tests; also where a chaos
+	// faultinject.Transport is attached). When nil, a client with
+	// ConnectTimeout/RPCTimeout is built.
 	HTTPClient *http.Client
+	// ConnectTimeout bounds dialing the coordinator (default 5s). Only
+	// used when HTTPClient is nil.
+	ConnectTimeout time.Duration
+	// RPCTimeout bounds the wait for response headers on each RPC
+	// (default 60s). There is deliberately no overall client timeout — an
+	// overall bound would also cap long polls and large artifact
+	// transfers. Only used when HTTPClient is nil.
+	RPCTimeout time.Duration
 	// Log receives one line per lifecycle event (nil = silent).
 	Log func(format string, args ...interface{})
 	// TaskHook, when set, observes each granted task before execution
@@ -58,10 +72,11 @@ type Worker struct {
 	pollMS  int64
 	store   bool
 
-	mu      sync.Mutex
-	runners map[string]*core.Runner    // per-campaign, keyed by fingerprint
-	camps   map[string]core.Campaign   // decoded campaign specs, same keys
-	frags   map[string]*fragmentWriter // per-campaign journal fragments
+	mu           sync.Mutex
+	runners      map[string]*core.Runner    // per-campaign, keyed by fingerprint
+	auditRunners map[string]*core.Runner    // per-campaign Fresh (storeless) runners
+	camps        map[string]core.Campaign   // decoded campaign specs, same keys
+	frags        map[string]*fragmentWriter // per-campaign journal fragments
 }
 
 // NewWorker validates the config and fills defaults.
@@ -85,9 +100,21 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+		connect := cfg.ConnectTimeout
+		if connect <= 0 {
+			connect = 5 * time.Second
+		}
+		rpc := cfg.RPCTimeout
+		if rpc <= 0 {
+			rpc = 60 * time.Second
+		}
+		hc = artifact.NewHTTPClient(connect, rpc)
 	}
-	return &Worker{cfg: cfg, base: base, hc: hc, runners: map[string]*core.Runner{}}, nil
+	return &Worker{
+		cfg: cfg, base: base, hc: hc,
+		runners:      map[string]*core.Runner{},
+		auditRunners: map[string]*core.Runner{},
+	}, nil
 }
 
 // ID returns the worker's cluster identity.
@@ -104,6 +131,16 @@ func (w *Worker) count(name string) {
 		w.cfg.Registry.Counter(name).Inc()
 	}
 }
+
+// rpcError is a non-2xx coordinator answer, typed so retry layers can
+// separate refusals (4xx: the coordinator understood and said no) from
+// server-side trouble (5xx: retry).
+type rpcError struct {
+	code int
+	msg  string
+}
+
+func (e *rpcError) Error() string { return e.msg }
 
 // post sends one JSON round trip to a coordinator endpoint.
 func (w *Worker) post(ctx context.Context, path string, body, reply interface{}) error {
@@ -126,12 +163,29 @@ func (w *Worker) post(ctx context.Context, path string, body, reply interface{})
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("fabric: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+		return &rpcError{resp.StatusCode, fmt.Sprintf("fabric: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))}
 	}
 	if reply != nil {
 		return json.Unmarshal(raw, reply)
 	}
 	return nil
+}
+
+// postRetry wraps post in the worker's retry discipline: jittered
+// exponential backoff with a per-attempt deadline. Transport errors, 5xx
+// and stalls retry; 4xx refusals return immediately.
+func (w *Worker) postRetry(ctx context.Context, p backoff.Policy, path string, body, reply interface{}) error {
+	return backoff.Retry(ctx, p, func(actx context.Context) error {
+		err := w.post(actx, path, body, reply)
+		if err == nil {
+			return nil
+		}
+		if re, ok := err.(*rpcError); ok && re.code/100 == 4 {
+			return backoff.Permanent(err)
+		}
+		w.count("fabric.rpc_retries")
+		return err
+	})
 }
 
 // Run is the worker's main loop: register (with retry — the coordinator
@@ -160,7 +214,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		var pr pollResponse
-		if err := w.post(ctx, "/v1/fabric/poll", pollRequest{Worker: w.cfg.ID}, &pr); err != nil {
+		if err := w.postRetry(ctx, pollPolicy, "/v1/fabric/poll", pollRequest{Worker: w.cfg.ID}, &pr); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -184,24 +238,33 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// The worker's RPC retry disciplines. Poll gets one attempt per loop
+// iteration (the main loop is its retry, with the coordinator's idle
+// hint as the backoff); register and done-reports retry in place because
+// giving up on them loses work.
+var (
+	pollPolicy = backoff.Policy{Attempts: 1, AttemptTimeout: 30 * time.Second}
+	registerPolicy = backoff.Policy{
+		Attempts: 20, Base: 250 * time.Millisecond, Max: 2 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+	}
+	donePolicy = backoff.Policy{
+		Attempts: 5, Base: 200 * time.Millisecond, Max: 2 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+	}
+)
+
 func (w *Worker) register(ctx context.Context) error {
-	for attempt := 0; ; attempt++ {
-		var rr registerResponse
-		err := w.post(ctx, "/v1/fabric/workers", registerRequest{Worker: w.cfg.ID}, &rr)
-		if err == nil {
-			w.leaseMS, w.pollMS, w.store = rr.LeaseMS, rr.PollMS, rr.Store
-			return nil
-		}
+	var rr registerResponse
+	err := w.postRetry(ctx, registerPolicy, "/v1/fabric/workers", registerRequest{Worker: w.cfg.ID}, &rr)
+	if err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if attempt >= 20 {
-			return fmt.Errorf("fabric: worker %s could not register with %s: %w", w.cfg.ID, w.base, err)
-		}
-		if !sleepCtx(ctx, 250*time.Millisecond) {
-			return ctx.Err()
-		}
+		return fmt.Errorf("fabric: worker %s could not register with %s: %w", w.cfg.ID, w.base, err)
 	}
+	w.leaseMS, w.pollMS, w.store = rr.LeaseMS, rr.PollMS, rr.Store
+	return nil
 }
 
 // execute runs one leased cell end to end: hook, heartbeat loop, task
@@ -234,7 +297,8 @@ func (w *Worker) execute(ctx context.Context, t Task) {
 				return
 			case <-tick.C:
 				var hr heartbeatResponse
-				err := w.post(tctx, "/v1/fabric/heartbeat", heartbeatRequest{Worker: w.cfg.ID, Task: t}, &hr)
+				hbPolicy := backoff.Policy{Attempts: 2, Base: 100 * time.Millisecond, AttemptTimeout: lease / 3}
+				err := w.postRetry(tctx, hbPolicy, "/v1/fabric/heartbeat", heartbeatRequest{Worker: w.cfg.ID, Task: t}, &hr)
 				if err == nil && hr.Lost {
 					lost = true
 					w.count("fabric.leases_lost")
@@ -256,11 +320,20 @@ func (w *Worker) execute(ctx context.Context, t Task) {
 		return // shutdown mid-cell: don't report, let the lease expire
 	}
 
-	if err == nil {
+	if err == nil && t.Kind == taskMeasure {
+		// Chaos site "fabric.payload/<id>": a worker that computes
+		// correctly but reports corrupted bytes — bit flips applied to the
+		// canonical payload before it is journaled or reported, so the
+		// wire JSON stays valid and the lie reaches the coordinator's
+		// audit layer instead of dying in a decoder.
+		payload = w.cfg.Injector.Corrupt(payload, "fabric.payload", w.cfg.ID)
+	}
+	if err == nil && !t.Fresh {
 		// The worker's own journal fragment: if this node dies before (or
 		// while) reporting, an operator can still gather the fragment and
 		// MergeJournals it into the coordinator's — the cell's canonical
-		// bytes are not lost with the report.
+		// bytes are not lost with the report. Audit re-executions are
+		// deliberately not journaled: their product is a vote, not a cell.
 		w.fragmentFor(t.Campaign).appendCell(t.Label(), payload)
 	}
 	done := doneRequest{Worker: w.cfg.ID, Task: t, OK: err == nil, Payload: payload}
@@ -271,16 +344,10 @@ func (w *Worker) execute(ctx context.Context, t Task) {
 	} else {
 		w.count("fabric.cells_completed")
 	}
-	for attempt := 0; attempt < 3; attempt++ {
-		var dr doneResponse
-		if rerr := w.post(ctx, "/v1/fabric/done", done, &dr); rerr == nil {
-			return
-		}
-		if !sleepCtx(ctx, 200*time.Millisecond) {
-			return
-		}
+	var dr doneResponse
+	if rerr := w.postRetry(ctx, donePolicy, "/v1/fabric/done", done, &dr); rerr != nil {
+		w.logf("worker %s: could not report %s; lease will expire", w.cfg.ID, t.Label())
 	}
-	w.logf("worker %s: could not report %s; lease will expire", w.cfg.ID, t.Label())
 }
 
 // runTask executes one cell body, converting panics (chaos drills, model
@@ -293,6 +360,14 @@ func (w *Worker) runTask(ctx context.Context, t Task) (payload []byte, err error
 		}
 	}()
 	r, camp, err := w.runner(ctx, t.Campaign)
+	if t.Fresh {
+		// Audit re-execution: derive the result independently. The fresh
+		// runner has its own cache directory and no remote store tier, so
+		// nothing computed by the worker under audit can leak into this
+		// derivation — agreement means agreement of computations, not of
+		// caches.
+		r, camp, err = w.auditRunner(ctx, t.Campaign)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +434,38 @@ func (w *Worker) runner(ctx context.Context, campaignID string) (*core.Runner, c
 		r = have
 	} else {
 		w.runners[campaignID] = r
+	}
+	w.mu.Unlock()
+	return r, camp, nil
+}
+
+// auditRunner returns (building on first use) the per-campaign Fresh
+// runner used for audit re-executions: same campaign, same flow, but a
+// private cache directory and no remote store, so every audited cell is
+// recomputed from scratch on this node.
+func (w *Worker) auditRunner(ctx context.Context, campaignID string) (*core.Runner, core.Campaign, error) {
+	w.mu.Lock()
+	r := w.auditRunners[campaignID]
+	w.mu.Unlock()
+	if r != nil {
+		camp, err := w.fetchCampaign(ctx, campaignID)
+		return r, camp, err
+	}
+	camp, err := w.fetchCampaign(ctx, campaignID)
+	if err != nil {
+		return nil, core.Campaign{}, err
+	}
+	r = core.New(core.FlowConfigFor(camp.Scale),
+		core.WithScale(camp.Scale),
+		core.WithCache(filepath.Join(w.cfg.CacheDir, "audit-fresh")),
+		core.WithMetrics(w.cfg.Registry),
+		core.WithFaultInjector(w.cfg.Injector),
+	)
+	w.mu.Lock()
+	if have := w.auditRunners[campaignID]; have != nil {
+		r = have
+	} else {
+		w.auditRunners[campaignID] = r
 	}
 	w.mu.Unlock()
 	return r, camp, nil

@@ -13,6 +13,9 @@
 //	artifact.read/measure
 //	artifact.fetch/checkpoint         (remote-store fetch, internal/artifact)
 //	fabric.lease/worker-1             (cell lease grant, internal/fabric)
+//	fabric.report/worker-1            (done-report RPC; see Transport)
+//	artifact.remote.get/worker-1      (remote-store GET over the wire)
+//	fabric.payload/worker-1           (measure bytes as reported, worker-side)
 //
 // Because a site names the exact (workload, config) pair it fires in, a
 // rule that targets one pair is deterministic regardless of sweep
@@ -26,8 +29,10 @@
 //	SITE  := segment ("/" segment)* — each segment is a path.Match pattern;
 //	         a rule with fewer segments than the site is a prefix match,
 //	         so "boom.tick" matches "boom.tick/sha/MegaBOOM".
-//	MODE  := "panic" | "error" (transient) | "error-perm" | "delay" | "corrupt"
-//	ARG   := delay duration ("50ms") or corrupt bit-flip count ("3")
+//	MODE  := "panic" | "error" (transient) | "error-perm" | "delay" |
+//	         "corrupt" | "truncate"
+//	ARG   := delay duration ("50ms"), corrupt bit-flip count ("3"), or
+//	         truncate keep-bytes ("100"; omitted = seed-deterministic cut)
 //	SKIP  := matching hits to let pass before firing (default 0)
 //	TIMES := matching hits that fire after the skip (default 1; "x*" = all)
 //
@@ -72,6 +77,9 @@ const (
 	// ModeCorrupt flips payload bits at Corrupt sites (exercises checksum
 	// recovery paths).
 	ModeCorrupt
+	// ModeTruncate cuts a payload short at Truncate sites (exercises
+	// length-check and torn-response recovery paths).
+	ModeTruncate
 )
 
 func (m Mode) String() string {
@@ -86,6 +94,8 @@ func (m Mode) String() string {
 		return "delay"
 	case ModeCorrupt:
 		return "corrupt"
+	case ModeTruncate:
+		return "truncate"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -113,6 +123,7 @@ type rule struct {
 	mode  Mode
 	delay time.Duration
 	bits  int
+	keep  int // truncate: bytes to keep (-1 = seed-deterministic)
 	skip  int64
 	times int64 // -1 = unlimited
 	hits  atomic.Int64
@@ -232,6 +243,17 @@ func parseRule(s string) (*rule, error) {
 			r.bits = n
 		}
 		return r, nil
+	case "truncate":
+		r.mode = ModeTruncate
+		r.keep = -1 // seed-deterministic cut point
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: rule %q: bad keep count %q", s, arg)
+			}
+			r.keep = n
+		}
+		return r, nil
 	default:
 		return nil, fmt.Errorf("faultinject: rule %q: unknown mode %q", s, mode)
 	}
@@ -266,13 +288,14 @@ func (in *Injector) count(m Mode) {
 // Hit evaluates the error/panic/delay rules at a site built from the given
 // path segments. It returns a *Fault to inject, panics with one (ModePanic),
 // sleeps and returns nil (ModeDelay), or returns nil when no rule fires.
-// Corrupt rules never fire here — they are payload transforms (see Corrupt).
+// Corrupt and truncate rules never fire here — they are payload transforms
+// (see Corrupt and Truncate).
 func (in *Injector) Hit(parts ...string) error {
 	if in == nil {
 		return nil
 	}
 	for _, r := range in.rules {
-		if r.mode == ModeCorrupt || !r.match(parts) || !r.fires() {
+		if r.mode == ModeCorrupt || r.mode == ModeTruncate || !r.match(parts) || !r.fires() {
 			continue
 		}
 		site := strings.Join(parts, "/")
@@ -317,6 +340,52 @@ func (in *Injector) Corrupt(data []byte, parts ...string) []byte {
 		return out
 	}
 	return data
+}
+
+// Truncate evaluates the truncate rules at a site. When one fires it
+// returns a prefix of data — the rule's keep count, or a
+// seed-deterministic cut point when the rule gave none — modeling a
+// connection torn mid-body. Otherwise data passes through unchanged.
+func (in *Injector) Truncate(data []byte, parts ...string) []byte {
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	for _, r := range in.rules {
+		if r.mode != ModeTruncate || !r.match(parts) || !r.fires() {
+			continue
+		}
+		in.count(ModeTruncate)
+		keep := r.keep
+		if keep < 0 {
+			h := fnv.New64a()
+			for _, p := range parts {
+				h.Write([]byte(p))
+				h.Write([]byte{'/'})
+			}
+			keep = int(splitmix64(in.seed^h.Sum64()^uint64(r.hits.Load())) % uint64(len(data)))
+		}
+		if keep >= len(data) {
+			keep = len(data) - 1
+		}
+		return data[:keep]
+	}
+	return data
+}
+
+// Transforms reports whether any corrupt or truncate rule could ever fire
+// at the site — without consuming a hit. Callers that must buffer a
+// payload to transform it (the network Transport buffering a response
+// body) use this to skip the copy on the sites no rule targets.
+func (in *Injector) Transforms(parts ...string) bool {
+	if in == nil {
+		return false
+	}
+	for _, r := range in.rules {
+		if (r.mode == ModeCorrupt || r.mode == ModeTruncate) && r.match(parts) {
+			return true
+		}
+	}
+	return false
 }
 
 // splitmix64 is the standard 64-bit mixing step (public-domain constant

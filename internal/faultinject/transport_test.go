@@ -1,0 +1,216 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParseTr(t *testing.T, spec string) *Injector {
+	t.Helper()
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// chaosGet performs one GET through a Transport wrapping ts.
+func chaosGet(t *testing.T, ts *httptest.Server, in *Injector, peer, path string) (*http.Response, []byte, error) {
+	t.Helper()
+	hc := &http.Client{Transport: &Transport{Injector: in, Base: ts.Client().Transport, Peer: peer}}
+	resp, err := hc.Get(ts.URL + path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, nil, err
+	}
+	return resp, b, nil
+}
+
+func TestTransportSyntheticServerError(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "7:fabric.poll/worker-1=error")
+	resp, body, err := chaosGet(t, ts, in, "worker-1", "/v1/fabric/poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "fabric.poll/worker-1") {
+		t.Errorf("503 body %q does not name the site", body)
+	}
+	if hits != 0 {
+		t.Errorf("server saw %d requests; the 503 must be synthesized client-side", hits)
+	}
+
+	// The rule fired its one time: the next poll goes through.
+	resp, body, err = chaosGet(t, ts, in, "worker-1", "/v1/fabric/poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Errorf("post-fault poll: status %d body %q", resp.StatusCode, body)
+	}
+	if hits != 1 {
+		t.Errorf("server saw %d requests, want 1", hits)
+	}
+}
+
+func TestTransportPeerScoping(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "7:fabric.report/worker-2=errorx*")
+	// worker-1 is untouched by a worker-2 rule.
+	resp, _, err := chaosGet(t, ts, in, "worker-1", "/v1/fabric/done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("worker-1 report: status %d, want 200", resp.StatusCode)
+	}
+	resp, _, err = chaosGet(t, ts, in, "worker-2", "/v1/fabric/done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("worker-2 report: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTransportTransportLevelError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "7:artifact.remote.put=error-perm")
+	hc := &http.Client{Transport: &Transport{Injector: in, Base: ts.Client().Transport}}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/artifacts/measure/v1/00", bytes.NewReader([]byte("x")))
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("error-perm must surface as a transport error")
+	}
+}
+
+func TestTransportCorruptsResponseBody(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "9:artifact.remote.get=corrupt:3")
+	_, got, err := chaosGet(t, ts, in, "", "/v1/artifacts/measure/v1/00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(got), len(payload))
+	}
+	flipped := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				flipped++
+			}
+		}
+	}
+	if flipped != 3 {
+		t.Errorf("flipped %d bits, want exactly 3", flipped)
+	}
+
+	// Same seed, same site, fresh injector: byte-identical corruption.
+	in2 := mustParseTr(t, "9:artifact.remote.get=corrupt:3")
+	_, got2, err := chaosGet(t, ts, in2, "", "/v1/artifacts/measure/v1/00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Error("corruption is not deterministic across injectors with one seed")
+	}
+}
+
+func TestTransportTruncatesResponseBody(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x55}, 128)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "9:artifact.remote.get=truncate:10")
+	_, got, err := chaosGet(t, ts, in, "", "/v1/artifacts/measure/v1/00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("truncated body %d bytes, want 10", len(got))
+	}
+	if !bytes.Equal(got, payload[:10]) {
+		t.Error("truncate must keep a prefix, not rewrite bytes")
+	}
+}
+
+func TestTransportDelayStalls(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	in := mustParseTr(t, "7:fabric.heartbeat=delay:50ms")
+	t0 := time.Now()
+	resp, _, err := chaosGet(t, ts, in, "", "/v1/fabric/heartbeat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200 (delay passes the request through)", resp.StatusCode)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Errorf("round trip took %v, want ≥ the injected 50ms stall", d)
+	}
+}
+
+func TestTransportNilInjectorPassesThrough(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	resp, body, err := chaosGet(t, ts, nil, "worker-1", "/v1/fabric/poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Errorf("pass-through: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestTruncateSpecParsing(t *testing.T) {
+	if _, err := Parse("1:a=truncate:-3"); err == nil {
+		t.Error("negative keep count must be rejected")
+	}
+	if _, err := Parse("1:a=truncate:xyz"); err == nil {
+		t.Error("non-numeric keep count must be rejected")
+	}
+	in := mustParseTr(t, "1:a=truncate")
+	out := in.Truncate(bytes.Repeat([]byte{1}, 100), "a")
+	if len(out) >= 100 {
+		t.Errorf("argless truncate kept %d of 100 bytes", len(out))
+	}
+}
