@@ -6,13 +6,16 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos bench bench-smoke check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos bench bench-smoke bench-measure check
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package so tests that
+# secretly depend on a predecessor (easy to introduce around the measure
+# worker pool's package-level state) fail loudly instead of by luck.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -218,11 +221,18 @@ bench:
 bench-smoke:
 	rm -rf .bench-check && mkdir -p .bench-check
 	$(GO) run ./cmd/kernelbench -benchtime 1x -out .bench-check/BENCH_kernel.json 2> /dev/null
-	for k in tick decode stats_accumulate power_accumulate func_step; do \
+	for k in tick decode stats_accumulate power_accumulate func_step measure_j1 measure_j4; do \
 		grep -q "\"kernel\": \"$$k\"" .bench-check/BENCH_kernel.json \
 			|| { echo "bench-smoke: kernel $$k missing"; exit 1; }; \
 	done
 	rm -rf .bench-check
 	@echo "bench-smoke: OK"
 
-check: vet race fuzz-smoke bench-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos
+# Measure-stage gate (DESIGN §17): one MegaBOOM cell at -j1 vs -j4 must
+# produce byte-identical canonical bytes, and -j4 must win the wall clock
+# wherever the machine has >= 4 CPUs (single-core CI boxes verify the
+# digest half and skip the timing half).
+bench-measure:
+	BOOM_MEASURE_SPEEDUP=1 $(GO) test -run TestMeasurePointSpeedup -count=1 -v ./internal/core
+
+check: vet race fuzz-smoke bench-smoke bench-measure cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos

@@ -106,21 +106,22 @@ func run(args []string) error {
 		Log:        logf,
 	})
 	srv, err := serve.New(serve.Config{
-		CacheDir:     ef.CacheDir,
-		CacheVerify:  ef.CacheVerify,
-		Resume:       ef.Resume,
-		Retries:      ef.Retries,
-		StageTimeout: ef.StageTimeout,
-		KeepGoing:    ef.KeepGoing,
-		Chaos:        ef.Chaos,
-		Parallelism:  ef.Jobs,
-		QueueDepth:   *queueDepth,
-		SweepWorkers: *workers,
-		Log:          logf,
-		Progress:     !*quiet,
-		Registry:     reg,
-		RemoteStore:  ef.RemoteStore,
-		Distribute:   coord.RunCampaign,
+		CacheDir:         ef.CacheDir,
+		CacheVerify:      ef.CacheVerify,
+		Resume:           ef.Resume,
+		Retries:          ef.Retries,
+		StageTimeout:     ef.StageTimeout,
+		KeepGoing:        ef.KeepGoing,
+		Chaos:            ef.Chaos,
+		Parallelism:      ef.Jobs,
+		PointParallelism: ef.PointJobs,
+		QueueDepth:       *queueDepth,
+		SweepWorkers:     *workers,
+		Log:              logf,
+		Progress:         !*quiet,
+		Registry:         reg,
+		RemoteStore:      ef.RemoteStore,
+		Distribute:       coord.RunCampaign,
 	})
 	if err != nil {
 		return err
@@ -182,15 +183,17 @@ func runWorker(coordinator, id string, ef *engineflags.Flags, logf func(string, 
 		hc = ef.RemoteClient(id)
 	}
 	w, err := fabric.NewWorker(fabric.WorkerConfig{
-		Coordinator:    coordinator,
-		ID:             id,
-		CacheDir:       ef.CacheDir,
-		Registry:       metrics.NewRegistry(),
-		Injector:       ef.Injector(),
-		HTTPClient:     hc,
-		ConnectTimeout: ef.RemoteConnect,
-		RPCTimeout:     ef.RemoteTimeout,
-		Log:            logf,
+		Coordinator:      coordinator,
+		ID:               id,
+		CacheDir:         ef.CacheDir,
+		Registry:         metrics.NewRegistry(),
+		Injector:         ef.Injector(),
+		HTTPClient:       hc,
+		ConnectTimeout:   ef.RemoteConnect,
+		RPCTimeout:       ef.RemoteTimeout,
+		Parallelism:      ef.Jobs,
+		PointParallelism: ef.PointJobs,
+		Log:              logf,
 	})
 	if err != nil {
 		return err

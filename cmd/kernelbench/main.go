@@ -29,6 +29,7 @@ import (
 // kernelPackages are the packages holding BenchmarkKernel* functions.
 var kernelPackages = []string{
 	"./internal/boom",
+	"./internal/core",
 	"./internal/power",
 	"./internal/sim",
 }
@@ -36,7 +37,7 @@ var kernelPackages = []string{
 // Result is one benchmark line of BENCH_kernel.json.
 type Result struct {
 	Name         string  `json:"name"`   // e.g. KernelTickMediumBOOM
-	Kernel       string  `json:"kernel"` // tick, decode, stats_accumulate, power_accumulate, func_step
+	Kernel       string  `json:"kernel"` // tick, decode, stats_accumulate, power_accumulate, func_step, measure_j1, measure_j4
 	Config       string  `json:"config,omitempty"`
 	Package      string  `json:"package"`
 	Iterations   int64   `json:"iterations"`

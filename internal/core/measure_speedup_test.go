@@ -1,0 +1,72 @@
+package core
+
+// The `make bench-measure` smoke gate: a single-workload MegaBOOM cell at
+// -j1 vs -j4 must produce byte-identical canonical results, and — when
+// the machine actually has cores to parallelize onto — the -j4 measure
+// must be faster on the wall clock. The digest half runs on any machine;
+// the timing half needs >= 4 CPUs (a single-core container can only pay
+// scheduling overhead for its helpers, so asserting speedup there would
+// test the host, not the code).
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/boom"
+)
+
+func TestMeasurePointSpeedup(t *testing.T) {
+	if os.Getenv("BOOM_MEASURE_SPEEDUP") == "" {
+		t.Skip("set BOOM_MEASURE_SPEEDUP=1 (make bench-measure) to run the measure-stage gate")
+	}
+	p := profileOf(t, "sha")
+	if p.NumSimPoints() < 2 {
+		t.Fatalf("sha selected %d simulation points; the gate needs >= 2", p.NumSimPoints())
+	}
+	cfg := boom.MegaBOOM()
+
+	run := func(par int) (*Result, time.Duration) {
+		r := New(DefaultFlowConfig(), WithParallelism(par))
+		var res *Result
+		best := time.Duration(1<<63 - 1)
+		for k := 0; k < 3; k++ { // best-of-3 damps scheduler noise
+			t0 := time.Now()
+			out, err := r.Run(context.Background(), p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+			res = out
+		}
+		return res, best
+	}
+	r1, d1 := run(1)
+	r4, d4 := run(4)
+
+	b1, err := EncodeMeasuredResult(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := EncodeMeasuredResult(r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatalf("-j1 and -j4 digests differ (%d vs %d bytes)", len(b1), len(b4))
+	}
+	t.Logf("measure %s/%s (%d points): j1=%v j4=%v (%.2fx)",
+		p.Workload.Name, cfg.Name, p.NumSimPoints(), d1, d4, d1.Seconds()/d4.Seconds())
+
+	if runtime.NumCPU() < 4 {
+		t.Skipf("digests identical; skipping wall-clock assertion on %d CPU(s)", runtime.NumCPU())
+	}
+	if d4 >= d1 {
+		t.Errorf("-j4 measure (%v) not faster than -j1 (%v)", d4, d1)
+	}
+}

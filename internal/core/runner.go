@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -57,6 +58,8 @@ type Runner struct {
 	scale        workloads.Scale
 	reg          *metrics.Registry
 	par          int
+	pointPar     int
+	sem          chan struct{} // shared -j slot budget (see points.go)
 	progress     func(string)
 	cache        *artifact.Cache
 	remote       *artifact.Remote
@@ -92,12 +95,28 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(r *Runner) { r.reg = reg }
 }
 
-// WithParallelism caps the number of Sweep workers. Values below 1 mean
-// "one worker". Default: runtime.GOMAXPROCS(0). Results are bit-identical
-// for every parallelism level — each (workload, config) measurement is an
-// isolated deterministic core+CPU pair.
+// WithParallelism sets the Runner's total worker budget: the number of
+// Sweep workers, and — shared with them through one slot semaphore — the
+// ceiling on concurrent intra-cell point workers (see
+// WithPointParallelism). Values below 1 mean "one worker". Default:
+// runtime.GOMAXPROCS(0). Results are bit-identical for every parallelism
+// level — each (workload, config) measurement is an isolated deterministic
+// core+CPU pair, and within a cell the per-point reduction is replayed
+// serially in checkpoint order (DESIGN §17).
 func WithParallelism(n int) Option {
 	return func(r *Runner) { r.par = n }
+}
+
+// WithPointParallelism caps how many simulation points of one (workload,
+// config) cell may be measured concurrently. The default (any n < 1)
+// shares the WithParallelism budget: a cell fans its points out over
+// whatever slots the sweep leaves idle, so a single-workload campaign
+// uses all of -j while a saturated 11×3 sweep degrades each cell to
+// serial measurement — the combined goroutine count never exceeds -j.
+// n = 1 forces strictly serial point measurement. Results are
+// bit-identical at every setting.
+func WithPointParallelism(n int) Option {
+	return func(r *Runner) { r.pointPar = n }
 }
 
 // WithProgress installs a callback receiving human-readable step strings.
@@ -190,6 +209,7 @@ func WithResume(v bool) Option {
 // WithFaultInjector attaches a deterministic fault-injection plan (see
 // internal/faultinject). The injector is threaded into every fault site
 // the Runner controls: core.profile/<wl>, core.measure/<wl>/<cfg>,
+// core.estimate/<wl>/<cfg> at each per-point power estimate,
 // boom.tick/<wl>/<cfg> inside the detailed model, and the artifact cache's
 // read/write sites. Nil (the default) disables every site.
 func WithFaultInjector(inj *faultinject.Injector) Option {
@@ -218,6 +238,7 @@ func New(fc FlowConfig, opts ...Option) *Runner {
 	if r.par < 1 {
 		r.par = 1
 	}
+	r.sem = make(chan struct{}, r.par)
 	if r.cache != nil {
 		r.cache.SetMetrics(r.reg)
 		r.cache.SetFaultInjector(r.inj)
@@ -498,43 +519,84 @@ func (r *Runner) Run(ctx context.Context, p *Profile, cfg boom.Config) (*Result,
 // simulation point, filling res (everything but MeasureWallNS). res is
 // only written after the full measurement succeeds, so a failed attempt
 // never leaks partial state into a retry.
+//
+// Points are measured concurrently (see points.go): each restores its own
+// checkpoint into a fresh functional+timing pair, deposits its raw
+// measurement into an index-addressed slot, and the floating-point
+// reduction replays serially in checkpoint order — bit-identical to a
+// serial loop at every parallelism level.
 func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *Result) error {
 	serr := func(stage string, err error) error {
 		return &StageError{Stage: stage, Workload: p.Workload.Name, Config: cfg.Name, Err: err}
 	}
 	mctx, cancel := r.stageCtx(ctx)
 	defer cancel()
+	// pctx carries the sibling-failure abort: the first failing point
+	// cancels it with errSiblingPoint so the others stop claiming work
+	// without manufacturing errors of their own.
+	pctx, abort := context.WithCancelCause(mctx)
+	defer abort(nil)
 	if err := r.inj.Hit("core.measure", p.Workload.Name, cfg.Name); err != nil {
 		return serr(StageMeasure, err)
 	}
 
 	est := power.NewEstimator(cfg, r.fc.Lib)
 	est.SetMetrics(r.reg)
-	agg := boom.NewStats(&cfg)
-	aggSlots := make([]float64, cfg.IntIssueSlots)
-	var points []PointResult
-	var detailed uint64
-	var scratchRep power.Report
-	var scratchSlots []float64
 
 	prog, err := p.Workload.Program()
 	if err != nil {
 		return serr(StageWarmup, err)
 	}
-	for i, k := range p.Checkpoints {
-		if cerr := mctx.Err(); cerr != nil {
-			return serr(StageMeasure, cerr)
+
+	n := len(p.Checkpoints)
+	outs := make([]pointOutput, n)
+	// One backing array serves every point's slot vector: point workers
+	// write disjoint sub-slices, nothing is shared or resized.
+	slotBuf := make([]float64, n*cfg.IntIssueSlots)
+	inflight := r.reg.Gauge("core.measure.points_inflight")
+	pointNS := r.reg.Histogram("core.measure.point_ns")
+	pointsDone := r.reg.Counter("core.measure.points")
+
+	r.runPoints(n, func(i int, scratch *power.Report) {
+		out := &outs[i]
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Captured here so a helper goroutine's panic cannot kill
+				// the process; re-thrown in checkpoint order by
+				// firstPointFailure for the sweep supervisor to recover.
+				out.panicked = rec
+			}
+			if out.panicked != nil || out.err != nil {
+				abort(errSiblingPoint)
+			}
+		}()
+		if cerr := pctx.Err(); cerr != nil {
+			if context.Cause(pctx) == errSiblingPoint {
+				out.aborted = true
+			} else {
+				out.err = serr(StageMeasure, cerr)
+			}
+			return
 		}
+		inflight.Add(1)
+		t0 := time.Now()
+		defer func() {
+			inflight.Add(-1)
+			pointsDone.Inc()
+			pointNS.Observe(time.Since(t0).Nanoseconds())
+		}()
+
 		// Warm-up: restore the architectural checkpoint into a fresh
 		// functional+timing pair and prime caches and predictors.
 		endStage := r.stage(StageWarmup)
 		cpu := sim.New()
 		cpu.Load(prog) // establish the decode window
-		k.Restore(cpu)
+		p.Checkpoints[i].Restore(cpu)
 		core, nerr := boom.New(cfg)
 		if nerr != nil {
 			endStage()
-			return serr(StageWarmup, nerr)
+			out.err = serr(StageWarmup, nerr)
+			return
 		}
 		core.SetMetrics(r.reg)
 		core.SetFaultInjector(r.inj, p.Workload.Name, cfg.Name)
@@ -542,9 +604,10 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		if warm := uint64(p.WarmupInsts[i]); warm > 0 {
 			if _, rerr := core.Run(ts.next, warm); rerr != nil {
 				endStage()
-				return serr(StageWarmup, rerr)
+				out.err = serr(StageWarmup, rerr)
+				return
 			}
-			detailed += warm
+			out.detailed += warm
 		}
 		core.ResetStats()
 		endStage()
@@ -553,35 +616,50 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		ran, rerr := core.Run(ts.next, uint64(p.Workload.IntervalSize))
 		endStage()
 		if rerr != nil {
-			return serr(StageMeasure, rerr)
+			out.err = serr(StageMeasure, rerr)
+			return
 		}
 		if ts.err != nil {
-			return serr(StageMeasure, ts.err)
+			out.err = serr(StageMeasure, ts.err)
+			return
 		}
-		detailed += ran
+		out.detailed += ran
 		st := core.Stats()
 
-		w := p.Selection.Selected[i].Weight
 		endStage = r.stage(StageEstimate)
-		// Per-point estimates are consumed immediately (a total and a
-		// weighted accumulation), so one scratch Report and slot vector
-		// serve every checkpoint — the zero-alloc accumulation path.
-		if perr := est.EstimateInto(&scratchRep, st); perr == nil {
-			points = append(points, PointResult{
-				Interval: p.Checkpoints[i].Interval,
-				Weight:   w,
-				IPC:      st.IPC(),
-				PowerMW:  scratchRep.TotalMW(),
-			})
+		// Per-point estimates are consumed immediately, so each worker's
+		// scratch Report serves every point it measures — the zero-alloc
+		// accumulation path, now per-worker instead of shared. A failed
+		// estimate is as fatal as the aggregate estimate below: silently
+		// dropping the point would leave Points inconsistent with the
+		// accumulated Stats.
+		perr := r.inj.Hit("core.estimate", p.Workload.Name, cfg.Name)
+		if perr == nil {
+			perr = est.EstimateInto(scratch, st)
 		}
-		scratchSlots = est.SlotPowerInto(scratchSlots, st)
-		for s := range aggSlots {
-			aggSlots[s] += w * scratchSlots[s]
+		if perr != nil {
+			endStage()
+			out.err = serr(StageEstimate, perr)
+			return
 		}
-		st.ScaleWeighted(w)
-		agg.Add(st)
+		out.point = PointResult{
+			Interval: p.Checkpoints[i].Interval,
+			Weight:   p.Selection.Selected[i].Weight,
+			IPC:      st.IPC(),
+			PowerMW:  scratch.TotalMW(),
+		}
+		dst := slotBuf[i*cfg.IntIssueSlots : (i+1)*cfg.IntIssueSlots : (i+1)*cfg.IntIssueSlots]
+		out.slots = est.SlotPowerInto(dst, st)
+		out.stats = st
 		endStage()
+	})
+	if ferr := firstPointFailure(outs); ferr != nil {
+		return ferr
 	}
+
+	// Ordered reduce: replay the accumulation serially in checkpoint order.
+	agg, aggSlots, points, detailed := foldPoints(&cfg, p.Selection, outs)
+
 	endStage := r.stage(StageEstimate)
 	rep, err := est.Estimate(agg)
 	endStage()
@@ -589,9 +667,13 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		return serr(StageEstimate, err)
 	}
 	// Normalize the weighted slot powers by coverage so partial coverage
-	// does not deflate them.
-	for s := range aggSlots {
-		aggSlots[s] /= p.Selection.Coverage
+	// does not deflate them. A degenerate selection can carry a zero (or
+	// non-finite) coverage; dividing by it would poison every slot power
+	// with NaN/Inf, so such a selection skips normalization.
+	if cov := p.Selection.Coverage; cov > 0 && !math.IsInf(cov, 1) {
+		for s := range aggSlots {
+			aggSlots[s] /= cov
+		}
 	}
 	res.TotalInsts = p.TotalInsts
 	res.IntervalSize = p.Workload.IntervalSize
@@ -910,8 +992,14 @@ func (r *Runner) runTasks(ctx context.Context, jn *journal, doneSet map[string]b
 				}
 				t0 := time.Now()
 				qwait.Observe(t0.UnixNano() - it.enqueuedNS)
+				// One task holds one slot of the shared -j budget for its
+				// whole attempt chain; intra-cell point helpers try-acquire
+				// the remainder (points.go), so sweep workers plus point
+				// workers never exceed -j goroutines combined.
+				r.sem <- struct{}{}
 				err := r.runTask(ctx, jn, doneSet, ts.id(it.idx),
 					func(c context.Context) error { return ts.do(c, it.idx) })
+				<-r.sem
 				if err != nil {
 					record(err)
 				}

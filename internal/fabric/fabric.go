@@ -107,6 +107,10 @@ type Coordinator struct {
 	runOrder []string
 	seq      uint64
 	drain    func() bool
+
+	// encodeErrOnce gates the single log line for response-encode failures;
+	// the rate lives in the fabric.http_encode_errors counter (see http.go).
+	encodeErrOnce sync.Once
 }
 
 type workerState struct {

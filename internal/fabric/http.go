@@ -19,21 +19,41 @@ const maxBody = 1 << 26 // 64 MiB: comfortably above any measure payload
 func (c *Coordinator) readJSON(w http.ResponseWriter, req *http.Request, v interface{}) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBody))
 	if err := dec.Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		c.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON encodes v as the response body. An encode failure — a closed
+// connection mid-write, an unencodable value — leaves the peer with a
+// half-written (or empty) body it will reject; that cannot be repaired
+// here, but it must not be silent either: every failure counts into
+// fabric.http_encode_errors and the first one is logged so an operator
+// can tell a misbehaving wire from a healthy one.
+func (c *Coordinator) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		c.encodeError(err)
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+func (c *Coordinator) httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		c.encodeError(err)
+	}
+}
+
+// encodeError accounts one response-encoding failure. Logged once per
+// coordinator — the counter carries the rate, the log line carries the
+// first cause — so a flapping client cannot flood the log.
+func (c *Coordinator) encodeError(err error) {
+	c.count("fabric.http_encode_errors")
+	c.encodeErrOnce.Do(func() {
+		c.logf("response encode failed (counting further ones in fabric.http_encode_errors): %v", err)
+	})
 }
 
 // touchWorker upserts the worker's liveness row; register reports whether
@@ -68,11 +88,11 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if body.Worker == "" {
-		httpError(w, http.StatusBadRequest, "worker id required")
+		c.httpError(w, http.StatusBadRequest, "worker id required")
 		return
 	}
 	c.touchWorker(body.Worker, true)
-	writeJSON(w, registerResponse{
+	c.writeJSON(w, registerResponse{
 		LeaseMS: c.cfg.Lease.Milliseconds(),
 		PollMS:  c.cfg.Poll.Milliseconds(),
 		Store:   c.cfg.Store != nil,
@@ -85,7 +105,7 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if body.Worker == "" {
-		httpError(w, http.StatusBadRequest, "worker id required")
+		c.httpError(w, http.StatusBadRequest, "worker id required")
 		return
 	}
 	c.touchWorker(body.Worker, false)
@@ -94,14 +114,14 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, req *http.Request) {
 	// campaign completes (byte-identically) despite the faults.
 	if err := c.cfg.Injector.Hit("fabric.lease", body.Worker); err != nil {
 		c.count("fabric.lease_faults")
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		c.httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	if t := c.nextTask(body.Worker); t != nil {
-		writeJSON(w, pollResponse{Task: t})
+		c.writeJSON(w, pollResponse{Task: t})
 		return
 	}
-	writeJSON(w, pollResponse{WaitMS: c.cfg.Poll.Milliseconds()})
+	c.writeJSON(w, pollResponse{WaitMS: c.cfg.Poll.Milliseconds()})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
@@ -115,7 +135,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 	defer c.mu.Unlock()
 	r := c.runs[body.Task.Campaign]
 	if r == nil {
-		writeJSON(w, heartbeatResponse{Lost: true})
+		c.writeJSON(w, heartbeatResponse{Lost: true})
 		return
 	}
 	cl := r.cells[body.Task.Label()]
@@ -123,11 +143,11 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 	if !leased || cl.worker != body.Worker || cl.task.Seq != body.Task.Seq {
 		// Stolen and possibly regranted under a newer Seq — or already
 		// reported. Either way this worker's lease is gone.
-		writeJSON(w, heartbeatResponse{Lost: true})
+		c.writeJSON(w, heartbeatResponse{Lost: true})
 		return
 	}
 	cl.deadline = now.Add(c.cfg.Lease)
-	writeJSON(w, heartbeatResponse{})
+	c.writeJSON(w, heartbeatResponse{})
 }
 
 func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
@@ -143,13 +163,13 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		// Retired campaign: a straggler finishing after completion. Its
 		// bytes are identical to the ones already merged, so acknowledge
 		// and drop.
-		writeJSON(w, doneResponse{OK: true})
+		c.writeJSON(w, doneResponse{OK: true})
 		return
 	}
 	label := body.Task.Label()
 	cl := r.cells[label]
 	if cl == nil {
-		httpError(w, http.StatusBadRequest, "unknown cell "+label)
+		c.httpError(w, http.StatusBadRequest, "unknown cell "+label)
 		return
 	}
 	if cl.state == cellDone || cl.state == cellFailed {
@@ -157,7 +177,7 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		// the fast half. First fingerprint wins, silently; determinism
 		// makes the two byte-identical.
 		c.count("fabric.duplicate_results")
-		writeJSON(w, doneResponse{OK: true})
+		c.writeJSON(w, doneResponse{OK: true})
 		return
 	}
 	if ws := c.workers[body.Worker]; ws != nil && ws.quarantined {
@@ -165,7 +185,7 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		// already stolen/requeued when it was quarantined; acknowledge so
 		// it stops retrying, and drop the result on the floor.
 		c.count("fabric.quarantined_reports_dropped")
-		writeJSON(w, doneResponse{OK: true})
+		c.writeJSON(w, doneResponse{OK: true})
 		return
 	}
 	if !body.OK {
@@ -181,7 +201,7 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 			c.count("fabric.audit_errors")
 			c.logf("campaign %s: audit of %s failed on %s: %s",
 				short(r.id), label, body.Worker, body.Error)
-			writeJSON(w, doneResponse{OK: true})
+			c.writeJSON(w, doneResponse{OK: true})
 			return
 		}
 		cl.attempts++
@@ -194,7 +214,7 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		} else {
 			c.failCellLocked(r, cl, body.Error)
 		}
-		writeJSON(w, doneResponse{OK: true})
+		c.writeJSON(w, doneResponse{OK: true})
 		return
 	}
 	sum := sha256.Sum256(body.Payload)
@@ -205,12 +225,12 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 		// nothing. One vote per worker.
 		if !body.Task.Fresh || hasVoted(cl, body.Worker) {
 			c.count("fabric.duplicate_results")
-			writeJSON(w, doneResponse{OK: true})
+			c.writeJSON(w, doneResponse{OK: true})
 			return
 		}
 		cl.reports = append(cl.reports, auditReport{worker: body.Worker, sum: sum, payload: body.Payload})
 		c.resolveAuditLocked(r, cl)
-		writeJSON(w, doneResponse{OK: true})
+		c.writeJSON(w, doneResponse{OK: true})
 		return
 	}
 	// First completion of a normal cell: either hold it for audit or
@@ -224,7 +244,7 @@ func (c *Coordinator) handleDone(w http.ResponseWriter, req *http.Request) {
 	} else {
 		c.finishCellLocked(r, cl, body.Worker, body.Payload, false)
 	}
-	writeJSON(w, doneResponse{OK: true})
+	c.writeJSON(w, doneResponse{OK: true})
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, req *http.Request) {
@@ -236,7 +256,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, req *http.Request) {
 		// Retry-After so clients (boomctl status) can distinguish "node
 		// draining, ask again" from a dead endpoint.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDrainSecs))
-		httpError(w, http.StatusServiceUnavailable, "coordinator is draining; retry later")
+		c.httpError(w, http.StatusServiceUnavailable, "coordinator is draining; retry later")
 		return
 	}
 	now := time.Now()
@@ -265,7 +285,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, req *http.Request) {
 		reply.Campaigns = append(reply.Campaigns, cs)
 	}
 	c.mu.Unlock()
-	writeJSON(w, reply)
+	c.writeJSON(w, reply)
 }
 
 // retryAfterDrainSecs is the Retry-After hint on drain rejections,
@@ -281,7 +301,7 @@ func (c *Coordinator) handleCampaign(w http.ResponseWriter, req *http.Request) {
 	}
 	c.mu.Unlock()
 	if spec == nil {
-		httpError(w, http.StatusNotFound, "no such campaign")
+		c.httpError(w, http.StatusNotFound, "no such campaign")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,67 @@
+package fabric
+
+// White-box test of the response-encode failure accounting: a value the
+// JSON encoder rejects must increment fabric.http_encode_errors on every
+// occurrence but log only once (the counter carries the rate, the first
+// log line the cause). Before the fix these failures were discarded
+// (`_ = json.NewEncoder(w).Encode(v)`), leaving a half-written
+// coordinator response indistinguishable from a healthy one.
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestEncodeErrorsCountedAndLoggedOnce(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var logged atomic.Int32
+	c := NewCoordinator(Config{
+		Registry: reg,
+		Log: func(format string, args ...interface{}) {
+			if strings.Contains(format, "encode") {
+				logged.Add(1)
+			}
+		},
+	})
+
+	ctr := reg.Counter("fabric.http_encode_errors")
+	for i := 1; i <= 3; i++ {
+		c.writeJSON(httptest.NewRecorder(), math.NaN()) // json: unsupported value
+		if got := ctr.Value(); got != int64(i) {
+			t.Fatalf("after %d failures counter = %d", i, got)
+		}
+	}
+	c.httpError(failingWriter{httptest.NewRecorder()}, 500, "boom")
+	if got := ctr.Value(); got != 4 {
+		t.Fatalf("httpError encode failure not counted: %d", got)
+	}
+	if got := logged.Load(); got != 1 {
+		t.Fatalf("encode failure logged %d times, want exactly once", got)
+	}
+
+	// A healthy encode must not count.
+	c.writeJSON(httptest.NewRecorder(), map[string]string{"ok": "yes"})
+	if got := ctr.Value(); got != 4 {
+		t.Fatalf("successful encode bumped the counter: %d", got)
+	}
+}
+
+// failingWriter simulates the peer hanging up mid-write: every body write
+// fails, which is the realistic shape of an encode error (as opposed to
+// the unencodable-value shape above).
+type failingWriter struct{ *httptest.ResponseRecorder }
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errBrokenPipe
+}
+
+var errBrokenPipe = &brokenPipeError{}
+
+type brokenPipeError struct{}
+
+func (*brokenPipeError) Error() string { return "write: broken pipe" }

@@ -57,6 +57,15 @@ type WorkerConfig struct {
 	// TaskHook, when set, observes each granted task before execution
 	// (tests use it to kill a worker mid-campaign deterministically).
 	TaskHook func(Task)
+	// Parallelism is the worker's core.WithParallelism budget (0 = all
+	// cores). A fabric worker leases one cell at a time, so the budget
+	// mostly drains into intra-cell point helpers (DESIGN §17) — this is
+	// what keeps storeless audit re-executions, which can never hit the
+	// shared store, from paying full serial latency.
+	Parallelism int
+	// PointParallelism caps points measured concurrently within one cell
+	// (0 = share the Parallelism budget, 1 = serial).
+	PointParallelism int
 }
 
 // Worker is the execution side of the fabric: it registers with a
@@ -243,7 +252,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // hint as the backoff); register and done-reports retry in place because
 // giving up on them loses work.
 var (
-	pollPolicy = backoff.Policy{Attempts: 1, AttemptTimeout: 30 * time.Second}
+	pollPolicy     = backoff.Policy{Attempts: 1, AttemptTimeout: 30 * time.Second}
 	registerPolicy = backoff.Policy{
 		Attempts: 20, Base: 250 * time.Millisecond, Max: 2 * time.Second,
 		AttemptTimeout: 10 * time.Second,
@@ -403,6 +412,21 @@ func (w *Worker) runTask(ctx context.Context, t Task) (payload []byte, err error
 	}
 }
 
+// parOpts translates the worker's parallelism knobs into engine options,
+// shared by the normal and audit runners so both shapes of execution —
+// store-backed cells and storeless audit re-executions — spread a cell's
+// simulation points across the same budget.
+func (w *Worker) parOpts() []core.Option {
+	var opts []core.Option
+	if w.cfg.Parallelism > 0 {
+		opts = append(opts, core.WithParallelism(w.cfg.Parallelism))
+	}
+	if w.cfg.PointParallelism > 0 {
+		opts = append(opts, core.WithPointParallelism(w.cfg.PointParallelism))
+	}
+	return opts
+}
+
 // runner returns (building on first use) the per-campaign Runner: the
 // campaign spec is fetched from the coordinator and the Runner assembled
 // exactly as a single node would, plus the remote store tier when the
@@ -425,6 +449,7 @@ func (w *Worker) runner(ctx context.Context, campaignID string) (*core.Runner, c
 		core.WithMetrics(w.cfg.Registry),
 		core.WithFaultInjector(w.cfg.Injector),
 	}
+	opts = append(opts, w.parOpts()...)
 	if w.store {
 		opts = append(opts, core.WithRemoteStore(artifact.NewRemote(w.base, w.hc)))
 	}
@@ -455,12 +480,12 @@ func (w *Worker) auditRunner(ctx context.Context, campaignID string) (*core.Runn
 	if err != nil {
 		return nil, core.Campaign{}, err
 	}
-	r = core.New(core.FlowConfigFor(camp.Scale),
+	r = core.New(core.FlowConfigFor(camp.Scale), append([]core.Option{
 		core.WithScale(camp.Scale),
 		core.WithCache(filepath.Join(w.cfg.CacheDir, "audit-fresh")),
 		core.WithMetrics(w.cfg.Registry),
 		core.WithFaultInjector(w.cfg.Injector),
-	)
+	}, w.parOpts()...)...)
 	w.mu.Lock()
 	if have := w.auditRunners[campaignID]; have != nil {
 		r = have

@@ -84,6 +84,10 @@ type Config struct {
 	Chaos string
 	// Parallelism is per-sweep worker count (0 = all cores).
 	Parallelism int
+	// PointParallelism caps simulation points measured concurrently within
+	// one cell (0 = share the Parallelism budget, 1 = serial; see
+	// core.WithPointParallelism).
+	PointParallelism int
 
 	// QueueDepth bounds the job queue; submissions beyond it get 429
 	// (default 8).
@@ -361,6 +365,9 @@ func (s *Server) newRunner(c core.Campaign) (*core.Runner, error) {
 	}
 	if s.cfg.Parallelism > 0 {
 		opts = append(opts, core.WithParallelism(s.cfg.Parallelism))
+	}
+	if s.cfg.PointParallelism > 0 {
+		opts = append(opts, core.WithPointParallelism(s.cfg.PointParallelism))
 	}
 	if s.cfg.CacheDir != "" {
 		opts = append(opts, core.WithCache(s.cfg.CacheDir), core.WithCacheVerify(s.cfg.CacheVerify))
