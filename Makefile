@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos bench bench-smoke bench-measure check
+.PHONY: build test vet race fuzz-smoke cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos bench bench-smoke bench-measure fidelity check
 
 build:
 	$(GO) build ./...
@@ -235,4 +235,12 @@ bench-smoke:
 bench-measure:
 	BOOM_MEASURE_SPEEDUP=1 $(GO) test -run TestMeasurePointSpeedup -count=1 -v ./internal/core
 
-check: vet race fuzz-smoke bench-smoke bench-measure cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos
+# Sampling-fidelity gate (DESIGN §18): per-workload sampled-vs-full CPI
+# error at MediumBOOM under the BBV-only baseline spec and the recommended
+# bbv+mav spec. The recommended spec's mean error must not regress, and
+# dijkstra — the memory-bound workload BBV-only sampling mis-clusters —
+# must strictly improve. Prints the per-workload delta table.
+fidelity:
+	BOOM_FIDELITY=1 $(GO) test -run TestFidelityGate -count=1 -v ./internal/core
+
+check: vet race fuzz-smoke bench-smoke bench-measure fidelity cache-roundtrip chaos resume-roundtrip serve-smoke dse-smoke fabric-smoke fabric-chaos

@@ -2,6 +2,7 @@
 //
 //	boomctl [-addr HOST:PORT] submit [-workloads sha,qsort] [-configs medium] [-scale tiny] [-wait]
 //	boomctl [-addr HOST:PORT] submit -base MediumBOOM -axes 'rob=64,96;predictor=tage,gshare' [-override 'l2-kib=1024']
+//	boomctl [-addr HOST:PORT] submit -workloads dijkstra -features bbv+mav -warmup 5x [-interval N] [-sp-dims N] [-sp-maxk N]
 //	boomctl [-addr HOST:PORT] status [ID]
 //	boomctl [-addr HOST:PORT] result ID [-wait]
 //	boomctl [-addr HOST:PORT] metrics
@@ -100,7 +101,8 @@ func run(args []string, out io.Writer) error {
 
 func usage() error {
 	return fmt.Errorf("usage: boomctl [-addr HOST:PORT] [-timeout D] " +
-		"submit [-workloads a,b] [-configs x,y | -base CFG -axes 'p=v1,v2;…' -override 'p=v;…'] [-scale S] [-wait] | " +
+		"submit [-workloads a,b] [-configs x,y | -base CFG -axes 'p=v1,v2;…' -override 'p=v;…'] [-scale S] " +
+		"[-interval N] [-features bbv|bbv+mav] [-sp-dims N] [-sp-maxk N] [-warmup none|N|Nx] [-wait] | " +
 		"status [ID] | result ID [-wait] | metrics | health")
 }
 
@@ -108,6 +110,16 @@ type client struct {
 	base string
 	http *http.Client
 	out  io.Writer
+}
+
+// sampl lazily allocates the request's sampling block, so the block is
+// emitted only when a sampling flag was actually given and flagless
+// submissions stay byte-identical to pre-sampling boomctl.
+func sampl(req *serve.SweepRequest) *serve.SamplingRequest {
+	if req.Sampling == nil {
+		req.Sampling = &serve.SamplingRequest{}
+	}
+	return req.Sampling
 }
 
 func (c *client) submit(args []string) error {
@@ -151,6 +163,33 @@ func (c *client) submit(args []string) error {
 			for _, ov := range ovs {
 				req.ConfigOverrides[ov.Param] = serve.AxisValue(ov.Value)
 			}
+		case args[i] == "-interval" && i+1 < len(args):
+			i++
+			n, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("-interval %q: want a non-negative instruction count", args[i])
+			}
+			sampl(&req).Interval = n
+		case args[i] == "-features" && i+1 < len(args):
+			i++
+			sampl(&req).Features = args[i]
+		case args[i] == "-sp-dims" && i+1 < len(args):
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 0 {
+				return fmt.Errorf("-sp-dims %q: want a non-negative integer", args[i])
+			}
+			sampl(&req).Dims = n
+		case args[i] == "-sp-maxk" && i+1 < len(args):
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 0 {
+				return fmt.Errorf("-sp-maxk %q: want a non-negative integer", args[i])
+			}
+			sampl(&req).MaxK = n
+		case args[i] == "-warmup" && i+1 < len(args):
+			i++
+			sampl(&req).Warmup = args[i]
 		case args[i] == "-wait":
 			wait = true
 		default:

@@ -115,6 +115,7 @@ func run(args []string) error {
 		Chaos:            ef.Chaos,
 		Parallelism:      ef.Jobs,
 		PointParallelism: ef.PointJobs,
+		Sampling:         ef.Sampling(),
 		QueueDepth:       *queueDepth,
 		SweepWorkers:     *workers,
 		Log:              logf,

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/sampling"
 	"repro/internal/serve"
 	"repro/internal/workloads"
 )
@@ -56,6 +57,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	params := fs.Bool("params", false, "list the sweepable parameters and exit")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	timeout := fs.Duration("timeout", 10*time.Minute, "HTTP client timeout for -addr")
+	interval := fs.Int64("interval", 0, "sampling interval in instructions (0 = per-workload default)")
+	features := fs.String("features", "", "SimPoint clustering features: bbv|bbv+mav (empty = bbv)")
+	spDims := fs.Int("sp-dims", 0, "SimPoint projection dimensions (0 = flow default)")
+	spMaxK := fs.Int("sp-maxk", 0, "SimPoint cluster-count ceiling (0 = flow default)")
+	warmup := fs.String("warmup", "", "warm-up before each measured SimPoint: none, an instruction count, or a factor like 5x")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,13 +94,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
+	policy, insts, factor, err := sampling.ParseWarmup(*warmup)
+	if err != nil {
+		return fmt.Errorf("-warmup: %w", err)
+	}
+	sspec := sampling.Spec{
+		Interval:     *interval,
+		Features:     *features,
+		Dims:         *spDims,
+		MaxK:         *spMaxK,
+		WarmupPolicy: policy,
+		WarmupInsts:  insts,
+		WarmupFactor: factor,
+	}
+	if err := sspec.Validate(); err != nil {
+		return err
+	}
 
 	var result serve.SweepResult
 	var raw []byte
 	if *addr != "" {
-		raw, err = runRemote(*addr, *timeout, names, spec, *scaleFlag)
+		raw, err = runRemote(*addr, *timeout, names, spec, *scaleFlag, sspec, *warmup)
 	} else {
-		raw, err = runLocal(names, spec, scale, *cacheDir, *quiet, stderr)
+		raw, err = runLocal(names, spec, sspec, scale, *cacheDir, *quiet, stderr)
 	}
 	if err != nil {
 		return err
@@ -130,12 +152,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runLocal expands the spec and drives the campaign through core.Runner,
 // then encodes with the serving encoder so the bytes match a boomd run of
 // the same campaign.
-func runLocal(names []string, spec dse.Spec, scale workloads.Scale, cacheDir string, quiet bool, stderr io.Writer) ([]byte, error) {
+func runLocal(names []string, spec dse.Spec, sspec sampling.Spec, scale workloads.Scale, cacheDir string, quiet bool, stderr io.Writer) ([]byte, error) {
 	cfgs, err := dse.Expand(spec)
 	if err != nil {
 		return nil, err
 	}
 	camp := core.NewCampaign(names, cfgs, scale)
+	camp.Sampling = sspec
 	if err := camp.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,8 +181,19 @@ func runLocal(names []string, spec dse.Spec, scale workloads.Scale, cacheDir str
 
 // runRemote submits the parametric v2 body to a boomd daemon and
 // long-polls the canonical result.
-func runRemote(addr string, timeout time.Duration, names []string, spec dse.Spec, scale string) ([]byte, error) {
+func runRemote(addr string, timeout time.Duration, names []string, spec dse.Spec, scale string, sspec sampling.Spec, warmup string) ([]byte, error) {
 	req := serve.SweepRequest{Workloads: names, Scale: scale, Base: spec.Base}
+	if !sspec.IsZero() {
+		// Mirror runLocal's campaign exactly: same spec fields, warm-up in
+		// its CLI spelling, so both paths fingerprint identically.
+		req.Sampling = &serve.SamplingRequest{
+			Interval: sspec.Interval,
+			Features: sspec.Features,
+			Dims:     sspec.Dims,
+			MaxK:     sspec.MaxK,
+			Warmup:   warmup,
+		}
+	}
 	if len(spec.Overrides) > 0 {
 		req.ConfigOverrides = map[string]serve.AxisValue{}
 		for _, s := range spec.Overrides {

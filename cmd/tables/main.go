@@ -97,8 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		opts = append(opts, core.WithMetrics(reg))
 	}
-	sw, err := core.New(fc, opts...).Sweep(context.Background(),
-		core.NewCampaign(workloads.Names(), configs, scale))
+	camp := core.NewCampaign(workloads.Names(), configs, scale)
+	camp.Sampling = ef.Sampling()
+	sw, err := core.New(fc, opts...).Sweep(context.Background(), camp)
 	var failedTasks int
 	if err != nil {
 		var se *core.SweepErrors

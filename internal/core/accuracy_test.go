@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/boom"
 	"repro/internal/metrics"
+	"repro/internal/sampling"
 	"repro/internal/workloads"
 )
 
@@ -29,19 +30,24 @@ func TestDifferentialAccuracy(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
 	fc := DefaultFlowConfig()
-	// The unit-test warm-up (10 K insts, half the tiny 20 K interval —
-	// the paper's proportion) is too short to warm the cache hierarchy
-	// for workloads whose working set does not shrink with the
-	// instruction stream: dijkstra's 100 KB adjacency matrix leaves every
-	// measured interval cache-cold and overestimates CPI by ~2×. The
-	// accuracy claim holds under a warm-up that covers the largest
-	// working set, so that is what this test uses.
-	fc.WarmupInsts = 100_000
+	// The flow-default unit-test warm-up (10 K insts, half the tiny 20 K
+	// interval) is too short for workloads whose working set does not
+	// shrink with the instruction stream: dijkstra's 100 KB adjacency
+	// matrix leaves every measured interval cache-cold and overestimates
+	// CPI by ~2×. Instead of patching FlowConfig here, the campaign
+	// carries an explicit proportional warm-up policy (5× the interval =
+	// 100 K insts at tiny scale), which is the production-facing fix —
+	// and dijkstra's error bound below tightens accordingly.
 	cfg := boom.MediumBOOM()
 	names := workloads.Names()
+	camp := tcamp(names, []boom.Config{cfg})
+	camp.Sampling = sampling.Spec{
+		WarmupPolicy: sampling.WarmupProportional,
+		WarmupFactor: sampling.DefaultWarmupFactor,
+	}
 
 	cold := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir))
-	sw, err := cold.Sweep(ctx, tcamp(names, []boom.Config{cfg}))
+	sw, err := cold.Sweep(ctx, camp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +78,12 @@ func TestDifferentialAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Per-workload CPI error bounds. The blanket bound is the 20% the
+	// repo already claims (results_paper.txt / cmd/validate); dijkstra —
+	// historically the worst offender, fixed by the explicit warm-up
+	// policy above — is pinned tighter so a warm-up regression shows up
+	// as a bound violation rather than hiding under the blanket.
+	bounds := map[string]float64{"dijkstra": 10.0}
 	const boundPct = 20.0
 	for _, name := range names {
 		sp, full := sw.Results[cfg.Name][name], fulls[name]
@@ -79,9 +91,13 @@ func TestDifferentialAccuracy(t *testing.T) {
 			t.Errorf("%s: non-positive IPC (simpoint %.3f, full %.3f)", name, sp.IPC(), full.IPC())
 			continue
 		}
-		if e := cpiErrPct(sp, full); e > boundPct {
+		bound := boundPct
+		if b, ok := bounds[name]; ok {
+			bound = b
+		}
+		if e := cpiErrPct(sp, full); e > bound {
 			t.Errorf("%s: SimPoint CPI error %.1f%% exceeds %.0f%% (CPI %.4f vs %.4f)",
-				name, e, boundPct, 1/sp.IPC(), 1/full.IPC())
+				name, e, bound, 1/sp.IPC(), 1/full.IPC())
 		}
 	}
 
@@ -89,7 +105,7 @@ func TestDifferentialAccuracy(t *testing.T) {
 	// every estimate must come back bit-for-bit.
 	reg := metrics.NewRegistry()
 	warm := New(fc, WithScale(workloads.ScaleTiny), WithCache(dir), WithMetrics(reg))
-	sw2, err := warm.Sweep(ctx, tcamp(names, []boom.Config{cfg}))
+	sw2, err := warm.Sweep(ctx, camp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,9 @@ import (
 	"repro/internal/binio"
 	"repro/internal/boom"
 	"repro/internal/ckpt"
+	"repro/internal/mav"
 	"repro/internal/power"
+	"repro/internal/sampling"
 	"repro/internal/simpoint"
 	"repro/internal/workloads"
 )
@@ -37,13 +39,22 @@ import (
 // name embeds the version). Payload integrity is the cache's job
 // (internal/artifact); payload meaning is versioned here.
 
-// Per-stage payload schema versions.
+// Per-stage payload schema versions. The profile stages carry two
+// parallel schema generations: the legacy versions, reserved for the
+// zero sampling spec (their keys and payloads are pinned byte-for-byte
+// by the equivalence goldens), and the spec-bearing versions, whose key
+// structs append the sampling spec so every distinct spec owns a
+// distinct cold/warm cache identity.
 const (
 	bbvSchema     = 1
 	selectSchema  = 1
 	ckptSchema    = 2 // v2: flate-compressed body
 	measureSchema = 1
 	fullSchema    = 1
+
+	bbvSpecSchema    = 2 // v2: sampling spec in key; optional MAV section in payload
+	selectSpecSchema = 2 // v2: sampling spec in key
+	ckptSpecSchema   = 3 // v3: sampling spec (resolved warm-up) in key
 )
 
 // maxCachedLen bounds decoded slice lengths (corrupt-payload defense).
@@ -85,20 +96,48 @@ type profileKeys struct {
 	ckpt artifact.Key
 }
 
-func (r *Runner) profileKeys(w *workloads.Workload) profileKeys {
+func (r *Runner) profileKeys(w *workloads.Workload, spec sampling.Spec) profileKeys {
+	if spec.IsZero() {
+		// Legacy shape, pinned byte-for-byte: pre-spec cache entries and
+		// fingerprints must keep resolving. Do not touch these structs.
+		var k profileKeys
+		k.bbv = artifact.NewKey("bbv", bbvSchema, struct {
+			Workload workloadIdent
+		}{identOf(w)})
+		k.sel = artifact.NewKey("select", selectSchema, struct {
+			BBV    string
+			Config simpoint.Config
+		}{k.bbv.Hex(), r.fc.SimPoint})
+		k.ckpt = artifact.NewKey("checkpoint", ckptSchema, struct {
+			BBV         string
+			Select      string
+			WarmupInsts int64
+		}{k.bbv.Hex(), k.sel.Hex(), r.fc.WarmupInsts})
+		return k
+	}
+	// Spec-bearing shape: the resolved interval replaces the workload's
+	// implicit one in the identity (it determines the committed-stream
+	// split), the spec rides in every stage key (features change the BBV
+	// payload and the clustering; warm-up policy changes the checkpoints),
+	// and the clustering key hashes the resolved simpoint.Config so
+	// Dims/MaxK overrides are part of the chain.
+	ident := identOf(w)
+	ident.IntervalSize = spec.ResolveInterval(w.IntervalSize)
 	var k profileKeys
-	k.bbv = artifact.NewKey("bbv", bbvSchema, struct {
+	k.bbv = artifact.NewKey("bbv", bbvSpecSchema, struct {
 		Workload workloadIdent
-	}{identOf(w)})
-	k.sel = artifact.NewKey("select", selectSchema, struct {
-		BBV    string
-		Config simpoint.Config
-	}{k.bbv.Hex(), r.fc.SimPoint})
-	k.ckpt = artifact.NewKey("checkpoint", ckptSchema, struct {
+		Sampling sampling.Spec
+	}{ident, spec})
+	k.sel = artifact.NewKey("select", selectSpecSchema, struct {
+		BBV      string
+		Config   simpoint.Config
+		Sampling sampling.Spec
+	}{k.bbv.Hex(), r.simpointConfig(spec), spec})
+	k.ckpt = artifact.NewKey("checkpoint", ckptSpecSchema, struct {
 		BBV         string
 		Select      string
 		WarmupInsts int64
-	}{k.bbv.Hex(), k.sel.Hex(), r.fc.WarmupInsts})
+	}{k.bbv.Hex(), k.sel.Hex(), spec.ResolveWarmup(ident.IntervalSize, r.fc.WarmupInsts)})
 	return k
 }
 
@@ -221,6 +260,63 @@ func decodeBBVPayload(payload []byte) (vectors []bbv.Vector, totalInsts uint64, 
 		return nil, 0, 0, err
 	}
 	return vectors, totalInsts, numBlocks, nil
+}
+
+// encodeBBVPayloadSpec encodes the profile stage's payload under a
+// sampling spec: the legacy layout, followed — only under a bbv+mav spec
+// — by a .mav-format section holding the per-interval memory-access
+// vectors. Zero-spec payloads are byte-identical to pre-spec ones (the
+// spec-bearing key schema keeps the two generations from ever sharing an
+// entry, so the section's presence is fully determined by the key).
+func encodeBBVPayloadSpec(vectors []bbv.Vector, mavs []mav.Vector, totalInsts uint64, numBlocks int, spec sampling.Spec) ([]byte, error) {
+	payload, err := encodeBBVPayload(vectors, totalInsts, numBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.UseMAV() {
+		return payload, nil
+	}
+	var body bytes.Buffer
+	if err := mav.WriteMAV(&body, mavs); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(payload)
+	bw := binio.NewWriter(&buf)
+	bw.Bytes(body.Bytes())
+	if err := bw.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBBVPayloadSpec(payload []byte, spec sampling.Spec) (vectors []bbv.Vector, mavs []mav.Vector, totalInsts uint64, numBlocks int, err error) {
+	rd := bytes.NewReader(payload)
+	br := binio.NewReader(rd)
+	totalInsts = br.U64()
+	numBlocks = br.Int()
+	body := br.Bytes(maxCachedLen)
+	var mavBody []byte
+	if spec.UseMAV() {
+		mavBody = br.Bytes(maxCachedLen)
+	}
+	if err := br.Err(); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	vectors, err = bbv.ReadBB(bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if spec.UseMAV() {
+		mavs, err = mav.ReadMAV(bytes.NewReader(mavBody))
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if len(mavs) != len(vectors) {
+			return nil, nil, 0, 0, fmt.Errorf("bbv payload has %d MAV intervals for %d BBV intervals", len(mavs), len(vectors))
+		}
+	}
+	return vectors, mavs, totalInsts, numBlocks, nil
 }
 
 // Checkpoint payloads embed full memory page images, which are large but

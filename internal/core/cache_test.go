@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/boom"
+	"repro/internal/sampling"
 	"repro/internal/simpoint"
 	"repro/internal/workloads"
 )
@@ -165,7 +166,7 @@ func TestCacheVerifyPassesAndDetectsDivergence(t *testing.T) {
 	if err := simpoint.EncodeResult(&buf, bogus); err != nil {
 		t.Fatal(err)
 	}
-	keys := cold.profileKeys(w)
+	keys := cold.profileKeys(w, sampling.Spec{})
 	if err := cold.Cache().Put(keys.sel, buf.Bytes(), 1); err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/boom"
+	"repro/internal/sampling"
 	"repro/internal/workloads"
 )
 
@@ -30,6 +31,11 @@ type Campaign struct {
 	Configs []boom.Config
 	// Scale is the workload scale every cell is built at.
 	Scale workloads.Scale
+	// Sampling parameterizes how every cell is sampled: interval length,
+	// clustering feature set, projection dims, k ceiling, warm-up policy.
+	// The zero value reproduces the legacy implicit defaults — and the
+	// legacy campaign fingerprint, byte-for-byte (see sweepID).
+	Sampling sampling.Spec
 }
 
 // NewCampaign builds a campaign over defensive copies of its inputs.
@@ -55,11 +61,14 @@ func (c Campaign) Cells() int { return len(c.Workloads) * len(c.Configs) }
 
 // Validate rejects campaigns the sweep engine cannot run unambiguously:
 // empty axes, duplicate workloads or config names (the journal keys tasks
-// by name), unregistered workloads, and structurally invalid design
-// points (boom.Config.Validate).
+// by name), unregistered workloads, structurally invalid design points
+// (boom.Config.Validate), and unresolvable sampling specs.
 func (c Campaign) Validate() error {
 	if len(c.Workloads) == 0 {
 		return fmt.Errorf("campaign: no workloads")
+	}
+	if err := c.Sampling.Validate(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 	if len(c.Configs) == 0 {
 		return fmt.Errorf("campaign: no configs")

@@ -34,7 +34,9 @@ import (
 	"repro/internal/bbv"
 	"repro/internal/boom"
 	"repro/internal/ckpt"
+	"repro/internal/mav"
 	"repro/internal/power"
+	"repro/internal/sampling"
 	"repro/internal/sim"
 	"repro/internal/simpoint"
 	"repro/internal/workloads"
@@ -79,8 +81,11 @@ func FlowConfigFor(scale workloads.Scale) FlowConfig {
 // Profile is the result of steps 1–3 for one workload (config-independent).
 type Profile struct {
 	Workload    *workloads.Workload
+	Sampling    sampling.Spec // spec the profile was taken under (zero = legacy)
+	Interval    int64         // resolved interval length (spec override or Workload.IntervalSize)
 	TotalInsts  uint64
 	Vectors     []bbv.Vector
+	MAVs        []mav.Vector // per-interval memory-access vectors; nil unless Sampling.UseMAV
 	NumBlocks   int
 	Selection   *simpoint.Result
 	Checkpoints []*ckpt.Checkpoint // aligned with Selection.Selected
@@ -162,6 +167,7 @@ func (t *traceSource) next(r *sim.Retired) bool {
 type Sweep struct {
 	Flow        FlowConfig
 	Scale       workloads.Scale
+	Sampling    sampling.Spec                 // effective sampling spec (zero = legacy defaults)
 	Names       []string                      // requested workloads, request order
 	ConfigNames []string                      // requested configs, request order
 	Profiles    map[string]*Profile           // by workload (may be partial)

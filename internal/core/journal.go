@@ -11,6 +11,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/boom"
 	"repro/internal/metrics"
+	"repro/internal/sampling"
 )
 
 // This file implements the sweep's crash-resume journal: an append-only
@@ -109,19 +110,33 @@ func (j *journal) Close() error {
 // of the identity — yields a different ID and a stale journal is ignored
 // rather than replayed.
 //
-// Compatibility: the encoded shape below (anonymous struct, these field
-// names and types, schema version 1) is pinned by the fingerprint
-// compatibility suite — a pre-Campaign-redesign journal or cache entry
-// for the named-trio campaign must keep resolving to the same ID. Do not
-// rename fields, reorder them, or name the struct (the canonical encoding
-// hashes the type name, and an anonymous struct encodes as "").
+// Compatibility: the encoded shapes below (anonymous structs, these
+// field names and types, the schema versions) are pinned by the
+// fingerprint compatibility suite. The zero sampling spec MUST keep
+// producing the schema-1 shape — a pre-Campaign-redesign journal or
+// cache entry for the named-trio campaign must keep resolving to the
+// same ID. A non-zero spec versions into a schema-2 shape that appends
+// the spec, so sampling parameters are part of campaign identity the
+// same way design-point fields are. Do not rename fields, reorder them,
+// or name the structs (the canonical encoding hashes the type name, and
+// an anonymous struct encodes as "").
 func (r *Runner) sweepID(c Campaign) string {
-	return artifact.NewKey("sweep", 1, struct {
-		Names   []string
-		Configs []boom.Config
-		Flow    FlowConfig
-		Scale   int
-	}{c.Workloads, c.Configs, r.fc, int(c.Scale)}).Hex()
+	spec := r.effectiveSpec(c)
+	if spec.IsZero() {
+		return artifact.NewKey("sweep", 1, struct {
+			Names   []string
+			Configs []boom.Config
+			Flow    FlowConfig
+			Scale   int
+		}{c.Workloads, c.Configs, r.fc, int(c.Scale)}).Hex()
+	}
+	return artifact.NewKey("sweep", 2, struct {
+		Names    []string
+		Configs  []boom.Config
+		Flow     FlowConfig
+		Scale    int
+		Sampling sampling.Spec
+	}{c.Workloads, c.Configs, r.fc, int(c.Scale), spec}).Hex()
 }
 
 // loadJournal parses an existing journal and returns the set of tasks with

@@ -19,8 +19,10 @@ import (
 	"repro/internal/boom"
 	"repro/internal/ckpt"
 	"repro/internal/faultinject"
+	"repro/internal/mav"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/sampling"
 	"repro/internal/sim"
 	"repro/internal/simpoint"
 	"repro/internal/workloads"
@@ -56,6 +58,7 @@ func Stages() []string {
 type Runner struct {
 	fc           FlowConfig
 	scale        workloads.Scale
+	sampling     sampling.Spec
 	reg          *metrics.Registry
 	par          int
 	pointPar     int
@@ -86,6 +89,17 @@ func WithScale(s workloads.Scale) Option {
 // WithLib overrides the ASAP7 library used for power estimation.
 func WithLib(lib asap7.Library) Option {
 	return func(r *Runner) { r.fc.Lib = lib }
+}
+
+// WithSampling sets the Runner's sampling spec, used by direct
+// Profile/Run/Validate calls and by Sweep when the campaign itself
+// carries no spec. The zero value (the default) reproduces the legacy
+// implicit defaults — and every legacy artifact key and campaign
+// fingerprint byte-for-byte. A campaign with a non-zero Sampling field
+// overrides this for its sweep, the way campaign scale already overrides
+// WithScale.
+func WithSampling(spec sampling.Spec) Option {
+	return func(r *Runner) { r.sampling = spec }
 }
 
 // WithMetrics attaches a metrics registry: per-stage spans under the
@@ -290,32 +304,73 @@ func (r *Runner) stageCtx(ctx context.Context) (context.Context, context.CancelF
 }
 
 // Profile runs steps 1–3 of the flow (profile → select → checkpoint) for
-// one already-built workload. Cancellation is cooperative: the context is
-// checked at interval boundaries of the functional execution, where any
-// WithStageTimeout deadline is observed too. With a cache attached, each
-// step is served from its artifact when present.
+// one already-built workload, under the Runner's sampling spec
+// (WithSampling; the zero spec is the legacy flow). Cancellation is
+// cooperative: the context is checked at interval boundaries of the
+// functional execution, where any WithStageTimeout deadline is observed
+// too. With a cache attached, each step is served from its artifact when
+// present.
 func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, error) {
+	return r.profileWith(ctx, w, r.sampling)
+}
+
+// effectiveSpec resolves which sampling spec governs a campaign: the
+// campaign's own when set, else the Runner's (WithSampling). Everything
+// spec-dependent — sweep profiling, the campaign fingerprint, the
+// journal identity — goes through this one resolution so results and
+// identities can never disagree.
+func (r *Runner) effectiveSpec(c Campaign) sampling.Spec {
+	if !c.Sampling.IsZero() {
+		return c.Sampling
+	}
+	return r.sampling
+}
+
+// simpointConfig resolves the clustering config under a spec: the flow's
+// scale-derived defaults with the spec's Dims/MaxK overrides applied.
+func (r *Runner) simpointConfig(spec sampling.Spec) simpoint.Config {
+	cfg := r.fc.SimPoint
+	if spec.Dims > 0 {
+		cfg.Dims = spec.Dims
+	}
+	if spec.MaxK > 0 {
+		cfg.MaxK = spec.MaxK
+	}
+	return cfg
+}
+
+// profileWith is Profile under an explicit sampling spec: the spec
+// resolves the interval length (falling back to the workload's), the
+// clustering feature set and config, and the warm-up budget checkpoints
+// are captured under.
+func (r *Runner) profileWith(ctx context.Context, w *workloads.Workload, spec sampling.Spec) (*Profile, error) {
 	defer r.flowLap()()
+
+	interval := spec.ResolveInterval(w.IntervalSize)
+	warmup := spec.ResolveWarmup(interval, r.fc.WarmupInsts)
+	spCfg := r.simpointConfig(spec)
 
 	var keys profileKeys
 	if r.cache != nil {
-		keys = r.profileKeys(w)
+		keys = r.profileKeys(w, spec)
 	}
 
-	// Stage 1: functional execution + BBV profiling, one interval at a time.
+	// Stage 1: functional execution + BBV (and, under a bbv+mav spec, MAV)
+	// profiling, one interval at a time.
 	var (
 		vectors    []bbv.Vector
+		mavs       []mav.Vector
 		totalInsts uint64
 		numBlocks  int
 	)
 	endStage := r.stage(StageProfile)
 	c1, err := r.stageCached(keys.bbv,
 		func(payload []byte) error {
-			v, ti, nb, derr := decodeBBVPayload(payload)
+			v, m, ti, nb, derr := decodeBBVPayloadSpec(payload, spec)
 			if derr != nil {
 				return derr
 			}
-			vectors, totalInsts, numBlocks = v, ti, nb
+			vectors, mavs, totalInsts, numBlocks = v, m, ti, nb
 			return nil
 		},
 		func() error {
@@ -329,13 +384,25 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 				return cerr
 			}
 			cpu.SetMetrics(r.reg)
-			profiler := bbv.NewProfiler(w.IntervalSize)
+			profiler := bbv.NewProfiler(interval)
+			observe := profiler.Observe
+			var mavProf *mav.Profiler
+			if spec.UseMAV() {
+				// Both profilers count every retired instruction, so their
+				// interval boundaries coincide and vector i of each stream
+				// describes the same instructions.
+				mavProf = mav.NewProfiler(interval)
+				observe = func(rt *sim.Retired) {
+					profiler.Observe(rt)
+					mavProf.Observe(rt)
+				}
+			}
 			var n int64
 			for !cpu.Halted {
 				if cerr := sctx.Err(); cerr != nil {
 					return cerr
 				}
-				ran, rerr := cpu.RunTrace(w.IntervalSize, profiler.Observe)
+				ran, rerr := cpu.RunTrace(interval, observe)
 				n += ran
 				if rerr != nil {
 					return rerr
@@ -348,10 +415,17 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			vectors = profiler.Vectors()
 			totalInsts = uint64(n)
 			numBlocks = profiler.NumBlocks()
+			if mavProf != nil {
+				mavProf.Finish()
+				mavs = mavProf.Vectors()
+				if len(mavs) != len(vectors) {
+					return fmt.Errorf("profiler drift: %d MAV intervals for %d BBV intervals", len(mavs), len(vectors))
+				}
+			}
 			return nil
 		},
 		func() ([]byte, error) {
-			return encodeBBVPayload(vectors, totalInsts, numBlocks)
+			return encodeBBVPayloadSpec(vectors, mavs, totalInsts, numBlocks, spec)
 		})
 	endStage()
 	if err != nil {
@@ -371,7 +445,13 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			return nil
 		},
 		func() error {
-			s, serr := simpoint.Choose(vectors, r.fc.SimPoint)
+			var s *simpoint.Result
+			var serr error
+			if spec.UseMAV() {
+				s, serr = simpoint.ChooseCombined(vectors, mavs, spCfg)
+			} else {
+				s, serr = simpoint.Choose(vectors, spCfg)
+			}
 			if serr != nil {
 				return serr
 			}
@@ -423,8 +503,8 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 			}
 			caps := make([]capturePoint, len(sel.Selected))
 			for i, pt := range sel.Selected {
-				st := int64(pt.Interval) * w.IntervalSize
-				at := st - r.fc.WarmupInsts
+				st := int64(pt.Interval) * interval
+				at := st - warmup
 				if at < 0 {
 					at = 0
 				}
@@ -446,8 +526,8 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 						return cerr
 					}
 					step := cp.at - executed
-					if step > w.IntervalSize {
-						step = w.IntervalSize
+					if step > interval {
+						step = interval
 					}
 					if _, rerr := cpu2.Run(step); rerr != nil {
 						return rerr
@@ -458,7 +538,7 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 				k.Interval = cp.interval
 				k.Weight = sel.Selected[cp.selIdx].Weight
 				cks[cp.selIdx] = k
-				warmups[cp.selIdx] = cp.interval*w.IntervalSize - cp.at
+				warmups[cp.selIdx] = cp.interval*interval - cp.at
 			}
 			return nil
 		},
@@ -472,8 +552,11 @@ func (r *Runner) Profile(ctx context.Context, w *workloads.Workload) (*Profile, 
 
 	p := &Profile{
 		Workload:    w,
+		Sampling:    spec,
+		Interval:    interval,
 		TotalInsts:  totalInsts,
 		Vectors:     vectors,
+		MAVs:        mavs,
 		NumBlocks:   numBlocks,
 		Selection:   sel,
 		Checkpoints: cks,
@@ -613,7 +696,7 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		endStage()
 
 		endStage = r.stage(StageMeasure)
-		ran, rerr := core.Run(ts.next, uint64(p.Workload.IntervalSize))
+		ran, rerr := core.Run(ts.next, uint64(p.Interval))
 		endStage()
 		if rerr != nil {
 			out.err = serr(StageMeasure, rerr)
@@ -676,7 +759,7 @@ func (r *Runner) measure(ctx context.Context, p *Profile, cfg boom.Config, res *
 		}
 	}
 	res.TotalInsts = p.TotalInsts
-	res.IntervalSize = p.Workload.IntervalSize
+	res.IntervalSize = p.Interval
 	res.NumPoints = p.NumSimPoints()
 	res.Coverage = p.Selection.Coverage
 	res.K = p.Selection.K
@@ -804,9 +887,11 @@ func (r *Runner) Sweep(ctx context.Context, camp Campaign) (*Sweep, error) {
 		r.note(format, args...)
 		noteMu.Unlock()
 	}
+	spec := r.effectiveSpec(camp)
 	sw := &Sweep{
 		Flow:     r.fc,
 		Scale:    camp.Scale,
+		Sampling: spec,
 		Names:    append([]string(nil), names...),
 		Profiles: map[string]*Profile{},
 		Results:  map[string]map[string]*Result{},
@@ -831,7 +916,7 @@ func (r *Runner) Sweep(ctx context.Context, camp Campaign) (*Sweep, error) {
 				return wrapStage(StageProfile, name, "", err)
 			}
 			note("profiling %-14s (%s scale)", name, camp.Scale)
-			p, err := r.Profile(ctx, w)
+			p, err := r.profileWith(ctx, w, spec)
 			if err != nil {
 				return err
 			}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/sampling"
 )
 
 // Flags holds the parsed engine flag values. Fields are exported so
@@ -57,12 +58,22 @@ type Flags struct {
 	RemoteConnect time.Duration
 	RemoteTimeout time.Duration
 
+	// Sampling-spec flags (-interval, -features, -sp-dims, -sp-maxk,
+	// -warmup). All zero/empty = the legacy flow; Validate folds them into
+	// the spec returned by Sampling.
+	Interval int64
+	Features string
+	SPDims   int
+	SPMaxK   int
+	Warmup   string
+
 	MetricsMode string // "", "text", "json" (set only if RegisterMetrics)
 	MetricsOut  string
 
 	fs         *flag.FlagSet
 	hasMetrics bool
 	injector   *faultinject.Injector
+	sspec      sampling.Spec
 }
 
 // RetryBackoff is the base backoff between transient-fault retries used by
@@ -85,6 +96,11 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.RemoteStore, "remote-store", "", "base URL of a remote artifact store used as a read-through tier over -cache")
 	fs.DurationVar(&f.RemoteConnect, "remote-connect-timeout", 5*time.Second, "dial timeout for remote-store/coordinator RPCs")
 	fs.DurationVar(&f.RemoteTimeout, "remote-timeout", 60*time.Second, "response-header timeout per remote RPC (not an overall cap; long polls and large transfers may run longer)")
+	fs.Int64Var(&f.Interval, "interval", 0, "sampling interval in instructions (0 = per-workload default)")
+	fs.StringVar(&f.Features, "features", "", "SimPoint clustering features: bbv|bbv+mav (empty = bbv)")
+	fs.IntVar(&f.SPDims, "sp-dims", 0, "SimPoint projection dimensions (0 = flow default)")
+	fs.IntVar(&f.SPMaxK, "sp-maxk", 0, "SimPoint cluster-count ceiling (0 = flow default)")
+	fs.StringVar(&f.Warmup, "warmup", "", "warm-up before each measured SimPoint: none, an instruction count, or a factor like 5x (empty = flow default)")
 	return f
 }
 
@@ -141,6 +157,22 @@ func (f *Flags) Validate() error {
 		}
 		f.injector = inj
 	}
+	policy, insts, factor, err := sampling.ParseWarmup(f.Warmup)
+	if err != nil {
+		return fmt.Errorf("-warmup: %w", err)
+	}
+	f.sspec = sampling.Spec{
+		Interval:     f.Interval,
+		Features:     f.Features,
+		Dims:         f.SPDims,
+		MaxK:         f.SPMaxK,
+		WarmupPolicy: policy,
+		WarmupInsts:  insts,
+		WarmupFactor: factor,
+	}
+	if err := f.sspec.Validate(); err != nil {
+		return err
+	}
 	if f.hasMetrics {
 		switch f.MetricsMode {
 		case "", "text", "json":
@@ -187,8 +219,18 @@ func (f *Flags) Options() ([]core.Option, error) {
 	if f.injector != nil {
 		opts = append(opts, core.WithFaultInjector(f.injector))
 	}
+	if !f.sspec.IsZero() {
+		opts = append(opts, core.WithSampling(f.sspec))
+	}
 	return opts, nil
 }
+
+// Sampling returns the spec assembled from -interval/-features/-sp-dims/
+// -sp-maxk/-warmup (the zero spec when none were set). Call after
+// Validate. Daemons thread it into their own defaults (cmd/boomd →
+// serve.Config.Sampling); sweep CLIs stamp it on the campaign so it
+// becomes part of the fingerprint.
+func (f *Flags) Sampling() sampling.Spec { return f.sspec }
 
 // RemoteClient builds the HTTP client every remote tier (remote store,
 // fabric coordinator) should use: split connect/response-header timeouts

@@ -33,6 +33,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/sampling"
 	"repro/internal/serve"
 	"repro/internal/workloads"
 )
@@ -263,6 +264,38 @@ func TestConformanceThreeWorkers(t *testing.T) {
 	}
 	if len(status.Workers) != 3 {
 		t.Errorf("status lists %d workers, want 3", len(status.Workers))
+	}
+}
+
+// TestConformanceSamplingSpec: a spec-bearing campaign (bbv+mav
+// clustering, proportional warm-up) sharded across two workers must
+// produce bytes identical to a direct single-node sweep of the same
+// campaign — the campaignWire round trip and the workers' WithSampling
+// runners reproduce the sampling parameters exactly, so the distributed
+// plane stays invisible for non-legacy specs too.
+func TestConformanceSamplingSpec(t *testing.T) {
+	camp := core.NewCampaign([]string{"sha", "dijkstra"},
+		[]boom.Config{boom.MediumBOOM()}, workloads.ScaleTiny)
+	camp.Sampling = sampling.Recommended()
+	want := directBytes(t, "sampling-2w", camp)
+
+	c := startCluster(t, clusterOpts{workers: 2})
+	sw, err := c.coord.RunCampaign(context.Background(), "sampling-2w", camp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := serve.EncodeSweep("sampling-2w", camp.Scale, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("distributed spec-bearing bytes differ from single-node:\n got %s\nwant %s", enc, want)
+	}
+	if !bytes.Contains(enc, []byte(`"sampling":"features=bbv+mav warmup=5x"`)) {
+		t.Fatalf("merged encoding is missing the sampling field: %s", enc)
+	}
+	if n := c.coordReg.Counter("fabric.local_fallback").Value(); n != 0 {
+		t.Errorf("local_fallback %d: the cluster must not have fallen back", n)
 	}
 }
 

@@ -494,6 +494,7 @@ func (c *Coordinator) assemble(r *run) (*core.Sweep, error) {
 	sw := &core.Sweep{
 		Flow:        core.FlowConfigFor(r.camp.Scale),
 		Scale:       r.camp.Scale,
+		Sampling:    r.camp.Sampling,
 		Names:       append([]string(nil), r.camp.Workloads...),
 		ConfigNames: r.camp.ConfigNames(),
 		Profiles:    map[string]*core.Profile{},

@@ -3,6 +3,7 @@ package fabric
 import (
 	"repro/internal/boom"
 	"repro/internal/core"
+	"repro/internal/sampling"
 	"repro/internal/workloads"
 )
 
@@ -102,14 +103,20 @@ type campaignWire struct {
 	Workloads []string      `json:"workloads"`
 	Configs   []boom.Config `json:"configs"`
 	Scale     int           `json:"scale"`
+	// Sampling carries the campaign's sampling spec; sampling.Spec is a
+	// flat struct of scalars, so the round trip is exact and workers
+	// profile/measure under byte-identical sampling parameters.
+	Sampling sampling.Spec `json:"sampling"`
 }
 
 func encodeCampaign(c core.Campaign) campaignWire {
-	return campaignWire{Workloads: c.Workloads, Configs: c.Configs, Scale: int(c.Scale)}
+	return campaignWire{Workloads: c.Workloads, Configs: c.Configs, Scale: int(c.Scale), Sampling: c.Sampling}
 }
 
 func (w campaignWire) campaign() core.Campaign {
-	return core.NewCampaign(w.Workloads, w.Configs, workloads.Scale(w.Scale))
+	c := core.NewCampaign(w.Workloads, w.Configs, workloads.Scale(w.Scale))
+	c.Sampling = w.Sampling
+	return c
 }
 
 // WorkerStatus is one worker's row in StatusReply.

@@ -445,6 +445,7 @@ func (w *Worker) runner(ctx context.Context, campaignID string) (*core.Runner, c
 	}
 	opts := []core.Option{
 		core.WithScale(camp.Scale),
+		core.WithSampling(camp.Sampling),
 		core.WithCache(w.cfg.CacheDir),
 		core.WithMetrics(w.cfg.Registry),
 		core.WithFaultInjector(w.cfg.Injector),
@@ -482,6 +483,7 @@ func (w *Worker) auditRunner(ctx context.Context, campaignID string) (*core.Runn
 	}
 	r = core.New(core.FlowConfigFor(camp.Scale), append([]core.Option{
 		core.WithScale(camp.Scale),
+		core.WithSampling(camp.Sampling),
 		core.WithCache(filepath.Join(w.cfg.CacheDir, "audit-fresh")),
 		core.WithMetrics(w.cfg.Registry),
 		core.WithFaultInjector(w.cfg.Injector),

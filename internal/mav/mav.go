@@ -1,0 +1,187 @@
+// Package mav builds Memory Access Vectors from the committed
+// instruction stream: per-interval summaries of cache-line stride and
+// reuse behavior that capture what Basic Block Vectors cannot. Two
+// intervals can execute identical code (identical BBVs) while one
+// streams through a multi-hundred-kilobyte working set and the other
+// hits a hot cache-resident structure; BBV-only SimPoint clustering
+// merges them and mis-samples memory-bound phases. Following the
+// "Memory Access Vectors" result (Caculo et al., PAPERS.md), each
+// interval is summarized by a small fixed-dimension feature vector the
+// clusterer concatenates onto the projected BBV point.
+//
+// The profiler counts every retired instruction — not just memory ops —
+// so its interval boundaries land on exactly the same committed-stream
+// offsets as bbv.Profiler's. Vector i here and BBV i describe the same
+// instructions.
+package mav
+
+import (
+	"repro/internal/rv64"
+	"repro/internal/sim"
+)
+
+// lineShift converts an effective address to a 64-byte cache-line index,
+// the granularity at which stride and reuse are classified.
+const lineShift = 6
+
+// reuseWindow is the capacity of the per-interval recency set used for
+// the near-reuse feature: an access whose line is among the last
+// reuseWindow distinct lines inserted counts as a reuse hit. 64 lines
+// (4 KiB) approximates an L1 set's worth of short-term locality without
+// modeling any concrete cache. The window evicts FIFO rather than LRU —
+// O(1) per access, which matters in a per-instruction callback, and
+// just as deterministic.
+const reuseWindow = 64
+
+// Feature indices of a Vector. The dimensionality is fixed: unlike
+// BBVs, whose block space grows with the program, MAV features are a
+// closed taxonomy of access behavior.
+const (
+	FeatLoads       = iota // retired loads
+	FeatStores             // retired stores
+	FeatUniqueLines        // distinct cache lines touched this interval
+	FeatSameLine           // accesses to the same line as the previous access
+	FeatNearStride         // line stride of ±1 (sequential streaming)
+	FeatSmallStride        // line stride in [2, 8] (strided array walks)
+	FeatLargeStride        // line stride > 8 (pointer chasing, big jumps)
+	FeatReuseHits          // accesses whose line is in the recent-64 window
+
+	NumFeatures = 8
+)
+
+// Vector is one interval's memory-access summary. Counts are exact
+// integers stored as float64 (bounded by the interval length, far below
+// float64's 2^53 exact range).
+type Vector [NumFeatures]float64
+
+// Total returns the sum of all feature counts.
+func (v Vector) Total() float64 {
+	var t float64
+	for _, c := range v {
+		t += c
+	}
+	return t
+}
+
+// Profiler accumulates MAVs over a run. Feed it every retired
+// instruction via Observe — the same stream, in the same order, as the
+// BBV profiler — then call Finish once.
+type Profiler struct {
+	interval int64
+	count    int64 // all retired instructions this interval
+
+	current  Vector
+	haveLast bool
+	lastLine uint64
+
+	// Per-interval distinct-line set (FeatUniqueLines). Bounded by the
+	// number of memory ops in one interval.
+	lines map[uint64]struct{}
+
+	// Deterministic recency set for FeatReuseHits: the last reuseWindow
+	// distinct lines, evicted FIFO via a ring buffer.
+	recent  map[uint64]struct{}
+	ring    [reuseWindow]uint64
+	ringLen int
+	ringPos int
+
+	vectors []Vector
+}
+
+// NewProfiler returns a profiler with the given interval size in
+// instructions. Use the same interval as the paired bbv.Profiler so the
+// two vector streams stay index-aligned.
+func NewProfiler(intervalSize int64) *Profiler {
+	p := &Profiler{interval: intervalSize}
+	p.reset()
+	return p
+}
+
+func (p *Profiler) reset() {
+	p.current = Vector{}
+	p.haveLast = false
+	p.lastLine = 0
+	p.lines = make(map[uint64]struct{})
+	p.recent = make(map[uint64]struct{}, reuseWindow)
+	p.ringLen = 0
+	p.ringPos = 0
+}
+
+// Observe processes one retired instruction. Non-memory instructions
+// only advance the interval counter.
+func (p *Profiler) Observe(r *sim.Retired) {
+	switch r.Inst.Op.Class() {
+	case rv64.ClassLoad:
+		p.current[FeatLoads]++
+		p.access(r.MemAddr >> lineShift)
+	case rv64.ClassStore:
+		p.current[FeatStores]++
+		p.access(r.MemAddr >> lineShift)
+	}
+	p.count++
+	if p.count >= p.interval {
+		p.flush()
+	}
+}
+
+func (p *Profiler) access(line uint64) {
+	if _, seen := p.lines[line]; !seen {
+		p.lines[line] = struct{}{}
+		p.current[FeatUniqueLines]++
+	}
+	if p.haveLast {
+		var stride uint64
+		if line >= p.lastLine {
+			stride = line - p.lastLine
+		} else {
+			stride = p.lastLine - line
+		}
+		switch {
+		case stride == 0:
+			p.current[FeatSameLine]++
+		case stride == 1:
+			p.current[FeatNearStride]++
+		case stride <= 8:
+			p.current[FeatSmallStride]++
+		default:
+			p.current[FeatLargeStride]++
+		}
+	}
+	p.lastLine = line
+	p.haveLast = true
+
+	// Recency: a hit only counts; a miss inserts the line, evicting the
+	// oldest insertion once the window is full.
+	if _, hit := p.recent[line]; hit {
+		p.current[FeatReuseHits]++
+		return
+	}
+	if p.ringLen >= reuseWindow {
+		delete(p.recent, p.ring[p.ringPos])
+	} else {
+		p.ringLen++
+	}
+	p.ring[p.ringPos] = line
+	p.recent[line] = struct{}{}
+	p.ringPos = (p.ringPos + 1) % reuseWindow
+}
+
+func (p *Profiler) flush() {
+	p.vectors = append(p.vectors, p.current)
+	p.count = 0
+	p.reset()
+}
+
+// Finish closes the trailing partial interval (if it observed at least
+// one instruction). Call after the traced run completes.
+func (p *Profiler) Finish() {
+	if p.count > 0 {
+		p.flush()
+	}
+}
+
+// Vectors returns one MAV per interval, in execution order.
+func (p *Profiler) Vectors() []Vector { return p.vectors }
+
+// IntervalSize returns the configured interval length.
+func (p *Profiler) IntervalSize() int64 { return p.interval }

@@ -1,0 +1,171 @@
+package sampling
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestZeroSpec(t *testing.T) {
+	var s Spec
+	if !s.IsZero() {
+		t.Fatal("zero Spec not IsZero")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero Spec invalid: %v", err)
+	}
+	if s.UseMAV() {
+		t.Fatal("zero Spec claims MAV")
+	}
+	if got := s.ResolveInterval(20_000); got != 20_000 {
+		t.Fatalf("zero Spec interval = %d, want workload fallback 20000", got)
+	}
+	if got := s.ResolveWarmup(20_000, 10_000); got != 10_000 {
+		t.Fatalf("zero Spec warmup = %d, want flow default 10000", got)
+	}
+	if s.String() != "" {
+		t.Fatalf("zero Spec String = %q, want empty", s.String())
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero Spec JSON = %s, want {} (omitempty on every field)", b)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Spec{
+		{},
+		{Features: FeaturesBBV},
+		{Features: FeaturesBBVMAV, Interval: 50_000, Dims: 12, MaxK: 6},
+		{WarmupPolicy: WarmupNone},
+		{WarmupPolicy: WarmupFixed, WarmupInsts: 250_000},
+		{WarmupPolicy: WarmupProportional, WarmupFactor: 3},
+		{WarmupPolicy: WarmupProportional}, // factor defaults at resolve time
+		Recommended(),
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	invalid := []Spec{
+		{Interval: -1},
+		{Features: "mav"},
+		{Features: "BBV"},
+		{Dims: -2},
+		{MaxK: -1},
+		{WarmupPolicy: "cold"},
+		{WarmupInsts: -5, WarmupPolicy: WarmupFixed},
+		{WarmupFactor: -1, WarmupPolicy: WarmupProportional},
+		{WarmupInsts: 100, WarmupPolicy: WarmupNone}, // insts without fixed policy
+		{WarmupFactor: 2, WarmupPolicy: WarmupFixed}, // factor without proportional
+		{WarmupInsts: 100}, // insts with flow-default policy
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestResolveWarmup(t *testing.T) {
+	cases := []struct {
+		spec     Spec
+		interval int64
+		flow     int64
+		want     int64
+	}{
+		{Spec{}, 100_000, 50_000, 50_000},
+		{Spec{WarmupPolicy: WarmupNone}, 100_000, 50_000, 0},
+		{Spec{WarmupPolicy: WarmupFixed, WarmupInsts: 7_000}, 100_000, 50_000, 7_000},
+		{Spec{WarmupPolicy: WarmupProportional, WarmupFactor: 3}, 100_000, 50_000, 300_000},
+		{Spec{WarmupPolicy: WarmupProportional}, 20_000, 10_000, int64(DefaultWarmupFactor) * 20_000},
+	}
+	for _, c := range cases {
+		if got := c.spec.ResolveWarmup(c.interval, c.flow); got != c.want {
+			t.Errorf("%+v.ResolveWarmup(%d, %d) = %d, want %d", c.spec, c.interval, c.flow, got, c.want)
+		}
+	}
+}
+
+func TestParseWarmup(t *testing.T) {
+	cases := []struct {
+		in     string
+		policy string
+		insts  int64
+		factor int
+		ok     bool
+	}{
+		{"", WarmupFlowDefault, 0, 0, true},
+		{"none", WarmupNone, 0, 0, true},
+		{"0", WarmupNone, 0, 0, true},
+		{"250000", WarmupFixed, 250_000, 0, true},
+		{"5x", WarmupProportional, 0, 5, true},
+		{"12x", WarmupProportional, 0, 12, true},
+		{"-1", "", 0, 0, false},
+		{"0x", "", 0, 0, false},
+		{"-3x", "", 0, 0, false},
+		{"fast", "", 0, 0, false},
+		{"1e6", "", 0, 0, false},
+	}
+	for _, c := range cases {
+		policy, insts, factor, err := ParseWarmup(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseWarmup(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if policy != c.policy || insts != c.insts || factor != c.factor {
+			t.Errorf("ParseWarmup(%q) = (%q, %d, %d), want (%q, %d, %d)",
+				c.in, policy, insts, factor, c.policy, c.insts, c.factor)
+		}
+		got := Spec{WarmupPolicy: policy, WarmupInsts: insts, WarmupFactor: factor}
+		if err := got.Validate(); err != nil {
+			t.Errorf("ParseWarmup(%q) produced invalid spec: %v", c.in, err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		Recommended(),
+		{Interval: 50_000, Features: FeaturesBBVMAV, Dims: 20, MaxK: 12, WarmupPolicy: WarmupFixed, WarmupInsts: 300_000},
+	}
+	for _, s := range specs {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Spec
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %+v -> %s -> %+v", s, b, got)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{}, ""},
+		{Spec{Features: FeaturesBBV}, "features=bbv"},
+		{Recommended(), "features=bbv+mav warmup=5x"},
+		{Spec{Interval: 50_000, WarmupPolicy: WarmupNone}, "interval=50000 warmup=none"},
+		{Spec{WarmupPolicy: WarmupFixed, WarmupInsts: 9}, "warmup=9"},
+		{Spec{Dims: 4, MaxK: 7}, "dims=4 maxk=7"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}

@@ -15,8 +15,12 @@ import (
 // byte-identical output whether the sweep was cold, warm-cached, resumed,
 // or served over HTTP.
 type SweepResult struct {
-	ID        string      `json:"id"`
-	Scale     string      `json:"scale"`
+	ID    string `json:"id"`
+	Scale string `json:"scale"`
+	// Sampling is the campaign's effective sampling spec rendered
+	// compactly; absent for the legacy zero spec, so pre-sampling result
+	// bytes are reproduced unchanged.
+	Sampling  string      `json:"sampling,omitempty"`
 	Workloads []string    `json:"workloads"`
 	Configs   []string    `json:"configs"`
 	Rows      []ResultRow `json:"rows"`
@@ -52,6 +56,7 @@ func EncodeSweep(id string, scale workloads.Scale, sw *core.Sweep) ([]byte, erro
 	out := SweepResult{
 		ID:        id,
 		Scale:     scale.String(),
+		Sampling:  sw.Sampling.String(),
 		Workloads: append([]string{}, sw.Names...),
 		Configs:   append([]string{}, sw.ConfigNames...),
 		Rows:      []ResultRow{},

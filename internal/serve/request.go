@@ -7,6 +7,7 @@ import (
 	"repro/internal/boom"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/sampling"
 	"repro/internal/workloads"
 )
 
@@ -55,6 +56,54 @@ type SweepRequest struct {
 	// campaign is the cross product. Expansion order is deterministic
 	// (parameters sorted by name, values in request order).
 	Axes map[string][]AxisValue `json:"axes,omitempty"`
+
+	// Sampling is the optional v2 sampling block. Absent, the campaign
+	// runs under the server's default spec (zero unless the daemon sets
+	// one), which for a zero spec reproduces the pre-sampling campaign
+	// fingerprints byte-for-byte:
+	//
+	//	{"workloads": ["dijkstra"], "configs": ["medium"],
+	//	 "sampling": {"features": "bbv+mav", "warmup": "5x", "interval": 20000}}
+	Sampling *SamplingRequest `json:"sampling,omitempty"`
+}
+
+// SamplingRequest is the wire form of sampling.Spec. Warmup is the CLI
+// spelling ("none", "<n>" fixed instructions, "<n>x" proportional) rather
+// than the three policy fields, so a request can never submit an
+// inconsistent policy triple.
+type SamplingRequest struct {
+	// Interval is the profiling interval in instructions (0 = the
+	// workload's Table II fallback).
+	Interval int64 `json:"interval,omitempty"`
+	// Features is "bbv" or "bbv+mav" ("" = "bbv").
+	Features string `json:"features,omitempty"`
+	// Dims overrides SimPoint projection dimensionality (0 = flow default).
+	Dims int `json:"dims,omitempty"`
+	// MaxK overrides the SimPoint k ceiling (0 = flow default).
+	MaxK int `json:"max_k,omitempty"`
+	// Warmup is "", "none", "<n>", or "<n>x".
+	Warmup string `json:"warmup,omitempty"`
+}
+
+// spec resolves the request block into the campaign's sampling.Spec.
+func (sr *SamplingRequest) spec() (sampling.Spec, error) {
+	if sr == nil {
+		return sampling.Spec{}, nil
+	}
+	policy, insts, factor, err := sampling.ParseWarmup(sr.Warmup)
+	if err != nil {
+		return sampling.Spec{}, err
+	}
+	spec := sampling.Spec{
+		Interval:     sr.Interval,
+		Features:     sr.Features,
+		Dims:         sr.Dims,
+		MaxK:         sr.MaxK,
+		WarmupPolicy: policy,
+		WarmupInsts:  insts,
+		WarmupFactor: factor,
+	}
+	return spec, spec.Validate()
 }
 
 // AxisValue is one axis value, accepted as a JSON string or number —
@@ -107,6 +156,12 @@ func resolveRequest(req SweepRequest) (core.Campaign, error) {
 	} else {
 		camp.Workloads = append([]string(nil), req.Workloads...)
 	}
+
+	sspec, err := req.Sampling.spec()
+	if err != nil {
+		return camp, err
+	}
+	camp.Sampling = sspec
 
 	parametric := req.Base != "" || len(req.Axes) > 0 || len(req.ConfigOverrides) > 0
 	switch {

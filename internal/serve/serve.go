@@ -56,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/sampling"
 )
 
 // Config carries the daemon's flags into the server. The zero value is a
@@ -88,6 +89,11 @@ type Config struct {
 	// one cell (0 = share the Parallelism budget, 1 = serial; see
 	// core.WithPointParallelism).
 	PointParallelism int
+	// Sampling is the default sampling spec applied to campaigns whose
+	// request carries no "sampling" block. The zero value keeps the
+	// legacy flow (and its fingerprints) untouched; a request-level block
+	// always wins over this default.
+	Sampling sampling.Spec
 
 	// QueueDepth bounds the job queue; submissions beyond it get 429
 	// (default 8).
@@ -167,6 +173,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: default sampling spec: %w", err)
+	}
 	if cfg.RemoteStore != "" && cfg.CacheDir == "" {
 		return nil, fmt.Errorf("serve: RemoteStore requires CacheDir (the local read-through tier)")
 	}
@@ -215,6 +224,9 @@ type Status struct {
 	Workloads []string `json:"workloads"`
 	Configs   []string `json:"configs"`
 	Scale     string   `json:"scale"`
+	// Sampling is the campaign's effective sampling spec, rendered
+	// compactly (absent for the legacy zero spec).
+	Sampling string `json:"sampling,omitempty"`
 	// Collapsed counts duplicate submissions absorbed by this job.
 	Collapsed int    `json:"collapsed,omitempty"`
 	Error     string `json:"error,omitempty"`
@@ -236,6 +248,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if camp.Sampling.IsZero() {
+		// Daemon-level default; the request's own block (even an explicit
+		// empty one, which resolves to the zero spec) was already applied.
+		camp.Sampling = s.cfg.Sampling
 	}
 	runner, err := s.newRunner(camp)
 	if err != nil {
@@ -411,6 +428,7 @@ func (s *Server) statusLocked(j *job) Status {
 		Workloads: append([]string(nil), j.camp.Workloads...),
 		Configs:   j.camp.ConfigNames(),
 		Scale:     j.camp.Scale.String(),
+		Sampling:  j.camp.Sampling.String(),
 		Collapsed: j.collapsed,
 		Error:     j.err,
 	}

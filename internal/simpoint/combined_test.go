@@ -1,0 +1,128 @@
+package simpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bbv"
+	"repro/internal/mav"
+)
+
+// TestCombinedSeparatesMemoryPhases is the motivating case for MAV
+// features: two phases executing identical code (identical BBVs) over
+// different working sets. BBV-only clustering cannot tell them apart;
+// BBV ⊕ MAV must.
+func TestCombinedSeparatesMemoryPhases(t *testing.T) {
+	const perPhase = 12
+	var vecs []bbv.Vector
+	var mavs []mav.Vector
+	for p := 0; p < 2; p++ {
+		for i := 0; i < perPhase; i++ {
+			// Same blocks, same weights, in both phases.
+			vecs = append(vecs, bbv.Vector{0: 700, 1: 200, 2: 100})
+			var m mav.Vector
+			m[mav.FeatLoads] = 300
+			if p == 0 {
+				// Cache-resident phase: every access reuses a hot line.
+				m[mav.FeatSameLine] = 280
+				m[mav.FeatReuseHits] = 280
+				m[mav.FeatUniqueLines] = 4
+			} else {
+				// Streaming phase: sequential walk over a large array.
+				m[mav.FeatNearStride] = 280
+				m[mav.FeatUniqueLines] = 290
+			}
+			mavs = append(mavs, m)
+		}
+	}
+
+	bbvOnly, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bbvOnly.K != 1 {
+		t.Fatalf("BBV-only clustering found k=%d for BBV-identical intervals, want 1", bbvOnly.K)
+	}
+
+	combined, err := ChooseCombined(vecs, mavs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.K != 2 {
+		t.Fatalf("combined clustering found k=%d, want 2 (memory phases separated)", combined.K)
+	}
+	// Every interval of one memory phase lands in one cluster.
+	for i := 1; i < perPhase; i++ {
+		if combined.Assignments[i] != combined.Assignments[0] {
+			t.Fatalf("interval %d split from its memory phase", i)
+		}
+		if combined.Assignments[perPhase+i] != combined.Assignments[perPhase] {
+			t.Fatalf("interval %d split from its memory phase", perPhase+i)
+		}
+	}
+	if combined.Assignments[0] == combined.Assignments[perPhase] {
+		t.Fatal("distinct memory phases merged")
+	}
+}
+
+// TestCombinedMatchesChooseOnZeroMAVs pins that appending all-zero MAVs
+// leaves the geometry unchanged up to the constant zero coordinates: the
+// clustering decisions equal the BBV-only path's.
+func TestCombinedMatchesChooseOnZeroMAVs(t *testing.T) {
+	vecs := synthPhases(3, 10)
+	mavs := make([]mav.Vector, len(vecs))
+	a, err := Choose(vecs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChooseCombined(vecs, mavs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || !reflect.DeepEqual(a.Assignments, b.Assignments) || !reflect.DeepEqual(a.Selected, b.Selected) {
+		t.Fatalf("zero MAVs changed clustering: k %d vs %d", a.K, b.K)
+	}
+}
+
+func TestCombinedValidatesLengths(t *testing.T) {
+	vecs := steadyPhases(1, 4)
+	if _, err := ChooseCombined(vecs, make([]mav.Vector, 3), DefaultConfig()); err == nil {
+		t.Fatal("mismatched MAV count accepted")
+	}
+	if _, err := ChooseCombined(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ChooseCombined(vecs, make([]mav.Vector, 4), Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestCombinedDeterminism(t *testing.T) {
+	// Integer counts only: real profiles hold exact-integer weights, whose
+	// sums are order-insensitive. Fractional synthetic counts would make
+	// Vector.Total (map-order summation) wobble in the last ulp.
+	var vecs []bbv.Vector
+	for i := 0; i < 16; i++ {
+		vecs = append(vecs, bbv.Vector{
+			(i % 2) * 10: float64(700 + (i*7)%13),
+			(i%2)*10 + 1: float64(200 + (i*11)%7),
+			(i%2)*10 + 2: float64(100 + (i*3)%5),
+		})
+	}
+	mavs := make([]mav.Vector, len(vecs))
+	for i := range mavs {
+		mavs[i][mav.FeatLoads] = float64(100 + i%2*50)
+		mavs[i][mav.FeatUniqueLines] = float64(10 + (i%2)*200)
+	}
+	a, err := ChooseCombined(vecs, mavs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChooseCombined(vecs, mavs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ChooseCombined is not deterministic")
+	}
+}

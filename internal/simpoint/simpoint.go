@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/bbv"
+	"repro/internal/mav"
 )
 
 // Config controls the clustering. The zero value is not useful; start from
@@ -68,14 +69,52 @@ type Result struct {
 
 // Choose runs the full SimPoint pipeline on the per-interval BBVs.
 func Choose(vectors []bbv.Vector, cfg Config) (*Result, error) {
-	n := len(vectors)
-	if n == 0 {
+	if len(vectors) == 0 {
 		return nil, fmt.Errorf("simpoint: no intervals")
 	}
 	if cfg.Dims <= 0 || cfg.MaxK <= 0 {
 		return nil, fmt.Errorf("simpoint: invalid config (Dims=%d MaxK=%d)", cfg.Dims, cfg.MaxK)
 	}
+	return chooseFrom(project(vectors, cfg.Dims, cfg.Seed), cfg), nil
+}
+
+// ChooseCombined runs the SimPoint pipeline on concatenated BBV ⊕ MAV
+// features: each interval's point is its projected, L1-normalized BBV
+// with the interval's L1-normalized memory-access vector appended. Both
+// halves are unit-L1, so code-structure and memory-behavior differences
+// carry comparable weight and k-means separates intervals that execute
+// the same blocks over different working sets. The BBV-only path
+// (Choose) is untouched — byte-identical results for legacy specs.
+func ChooseCombined(vectors []bbv.Vector, mavs []mav.Vector, cfg Config) (*Result, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("simpoint: no intervals")
+	}
+	if len(mavs) != len(vectors) {
+		return nil, fmt.Errorf("simpoint: %d MAVs for %d BBV intervals", len(mavs), len(vectors))
+	}
+	if cfg.Dims <= 0 || cfg.MaxK <= 0 {
+		return nil, fmt.Errorf("simpoint: invalid config (Dims=%d MaxK=%d)", cfg.Dims, cfg.MaxK)
+	}
 	pts := project(vectors, cfg.Dims, cfg.Seed)
+	for i, m := range mavs {
+		total := m.Total()
+		if total == 0 {
+			total = 1
+		}
+		p := pts[i]
+		for _, c := range m {
+			p = append(p, c/total)
+		}
+		pts[i] = p
+	}
+	return chooseFrom(pts, cfg), nil
+}
+
+// chooseFrom clusters prepared feature points: k-means across a range of
+// k, BIC selection, representatives ranked by weight to the coverage
+// target. It is the shared back half of Choose and ChooseCombined.
+func chooseFrom(pts [][]float64, cfg Config) *Result {
+	n := len(pts)
 
 	// k = n would make the BIC variance estimate degenerate; cap below it.
 	maxK := cfg.MaxK
@@ -158,7 +197,7 @@ func Choose(vectors []bbv.Vector, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	return res, nil
+	return res
 }
 
 // project L1-normalizes each BBV and projects it into dims dimensions using

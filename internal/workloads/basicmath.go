@@ -180,11 +180,10 @@ pc_horner:
 `+exitSeq, n, int64(lcgMul), int64(lcgInc))
 
 	return &Workload{
-		Name:         "basicmath",
-		Suite:        "MiBench",
-		Scale:        s,
-		Source:       src,
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "basicmath",
+		Suite:    "MiBench",
+		Scale:    s,
+		Source:   src,
+		Checksum: acc,
 	}, nil
 }

@@ -179,24 +179,11 @@ p5_nibbles:
 `+exitSeq, n, ExtraBase, ExtraBase+256, int64(lcgMul), int64(lcgInc))
 
 	return &Workload{
-		Name:         "bitcount",
-		Suite:        "MiBench",
-		Scale:        s,
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: tab}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "bitcount",
+		Suite:    "MiBench",
+		Scale:    s,
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: tab}},
+		Checksum: acc,
 	}, nil
-}
-
-// intervalFor scales the BBV interval with the workload size, mirroring the
-// 1M-instruction intervals of Table II at paper scale.
-func intervalFor(s Scale) int64 {
-	switch s {
-	case ScaleTiny:
-		return 20_000
-	case ScalePaper:
-		return 1_000_000
-	}
-	return 100_000
 }

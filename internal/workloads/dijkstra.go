@@ -66,7 +66,6 @@ func buildDijkstra(s Scale) (*Workload, error) {
 		return nil, err
 	}
 	w.Scale = s
-	w.IntervalSize = intervalFor(s)
 	return w, nil
 }
 
@@ -201,17 +200,22 @@ acc_loop:
 `+exitSeq, v, sources, ExtraBase, ExtraBase+4*v*v, (1<<qCapLog)-1, dijkstraInf, 4*v)
 
 	return &Workload{
-		Name:         "dijkstra",
-		Suite:        "MiBench",
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: seg}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(ScaleDefault),
+		Name:     "dijkstra",
+		Suite:    "MiBench",
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: seg}},
+		Checksum: acc,
 	}, nil
 }
 
 // BuildDijkstraCustom builds a dijkstra instance with explicit parameters,
-// used by model-calibration tests and the ablation benches.
+// used by model-calibration tests and the ablation benches. It bypasses
+// Build's interval resolution, so it pins IntervalSize itself.
 func BuildDijkstraCustom(v, sources int64) (*Workload, error) {
-	return buildDijkstraWith(v, sources)
+	w, err := buildDijkstraWith(v, sources)
+	if err != nil {
+		return nil, err
+	}
+	w.IntervalSize = DefaultInterval(ScaleDefault)
+	return w, nil
 }

@@ -285,12 +285,11 @@ ck_loop:
 
 	suite := "MiBench"
 	return &Workload{
-		Name:         name,
-		Suite:        suite,
-		Scale:        s,
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: seg}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     name,
+		Suite:    suite,
+		Scale:    s,
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: seg}},
+		Checksum: acc,
 	}, nil
 }

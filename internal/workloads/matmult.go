@@ -134,12 +134,11 @@ sum_loop:
 `+exitSeq, n, reps, ExtraBase, ExtraBase+4*n*n, ExtraBase+8*n*n)
 
 	return &Workload{
-		Name:         "matmult",
-		Suite:        "Embench",
-		Scale:        s,
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: seg}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "matmult",
+		Suite:    "Embench",
+		Scale:    s,
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: seg}},
+		Checksum: acc,
 	}, nil
 }

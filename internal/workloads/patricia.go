@@ -232,7 +232,6 @@ look_next:
 			// explicit segment documents the footprint and forces pages in).
 			{Addr: ExtraBase, Bytes: make([]byte, arenaBytes)},
 		},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Checksum: acc,
 	}, nil
 }

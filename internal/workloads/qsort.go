@@ -128,12 +128,11 @@ done:
 `+exitSeq, ExtraBase, k)
 
 	return &Workload{
-		Name:         "qsort",
-		Suite:        "MiBench",
-		Scale:        s,
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: seg}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "qsort",
+		Suite:    "MiBench",
+		Scale:    s,
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: seg}},
+		Checksum: acc,
 	}, nil
 }

@@ -246,12 +246,11 @@ blk_done:
 `+exitSeq, blocks, ExtraBase, corpusBlocks-1, shaRounds())
 
 	return &Workload{
-		Name:         "sha",
-		Suite:        "MiBench",
-		Scale:        s,
-		Source:       src,
-		Segments:     []Segment{{Addr: ExtraBase, Bytes: corpus}},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "sha",
+		Suite:    "MiBench",
+		Scale:    s,
+		Source:   src,
+		Segments: []Segment{{Addr: ExtraBase, Bytes: corpus}},
+		Checksum: acc,
 	}, nil
 }

@@ -188,12 +188,11 @@ pat_done:
 		{Addr: ExtraBase + uint64(corpusLen) + uint64(int64(patLen)*patterns), Bytes: lenSeg},
 	}
 	return &Workload{
-		Name:         "stringsearch",
-		Suite:        "MiBench",
-		Scale:        s,
-		Source:       src,
-		Segments:     segs,
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Name:     "stringsearch",
+		Suite:    "MiBench",
+		Scale:    s,
+		Source:   src,
+		Segments: segs,
+		Checksum: acc,
 	}, nil
 }

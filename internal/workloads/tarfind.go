@@ -183,7 +183,6 @@ pass_done:
 			{Addr: ExtraBase, Bytes: arc},
 			{Addr: ExtraBase + uint64(len(arc)), Bytes: needleSeg},
 		},
-		Checksum:     acc,
-		IntervalSize: intervalFor(s),
+		Checksum: acc,
 	}, nil
 }

@@ -76,6 +76,12 @@ type Workload struct {
 
 	// IntervalSize is the BBV interval used for this workload at this
 	// scale, mirroring Table II's per-benchmark interval column.
+	//
+	// Deprecated as a primary knob: this is the fallback consulted only
+	// when the campaign's sampling spec leaves its Interval unset
+	// (sampling.Spec.Interval == 0). Builders leave it zero and Build
+	// resolves it to DefaultInterval(scale); set it explicitly only for
+	// custom instances constructed outside Build.
 	IntervalSize int64
 }
 
@@ -137,13 +143,35 @@ func Names() []string {
 	return append(out, rest...)
 }
 
-// Build constructs the named workload at the given scale.
+// DefaultInterval returns the scale's default BBV interval, mirroring the
+// 1M-instruction intervals of Table II at paper scale. This is the single
+// default-resolution point that replaced the ten per-builder intervalFor
+// call sites; campaigns override it through sampling.Spec.Interval.
+func DefaultInterval(s Scale) int64 {
+	switch s {
+	case ScaleTiny:
+		return 20_000
+	case ScalePaper:
+		return 1_000_000
+	}
+	return 100_000
+}
+
+// Build constructs the named workload at the given scale. A builder that
+// leaves IntervalSize zero gets the scale's DefaultInterval.
 func Build(name string, scale Scale) (*Workload, error) {
 	b, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
-	return b(scale)
+	w, err := b(scale)
+	if err != nil {
+		return nil, err
+	}
+	if w.IntervalSize == 0 {
+		w.IntervalSize = DefaultInterval(scale)
+	}
+	return w, nil
 }
 
 // lcg is the shared deterministic pseudo-random generator. Kernels that
